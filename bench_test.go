@@ -1,0 +1,246 @@
+// Package webslice holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation. Each benchmark renders the
+// corresponding workload on the simulated browser, runs the slicing
+// profiler, reports the paper's metrics via b.ReportMetric, and logs the
+// regenerated rows/series on the first iteration.
+//
+// The workload scale defaults to 0.25 of the calibrated benchmark size so a
+// full `go test -bench=.` run stays laptop-friendly; set WEBSLICE_SCALE=1
+// for the full-size runs used in EXPERIMENTS.md.
+package webslice
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"webslice/internal/analysis"
+	"webslice/internal/browser"
+	"webslice/internal/cdg"
+	"webslice/internal/cfg"
+	"webslice/internal/experiments"
+	"webslice/internal/sites"
+	"webslice/internal/slicer"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("WEBSLICE_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.25
+}
+
+// BenchmarkTableI regenerates Table I: unused JS/CSS bytes for Amazon, Bing,
+// and Google Maps in load and load+browse sessions.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExecuteTableI(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.TableI(rows).String())
+			for _, r := range rows {
+				name := strings.ReplaceAll(r.Name, " ", "")
+				b.ReportMetric(r.Load.Percent(), name+"_load_unused_%")
+				b.ReportMetric(r.LoadAndBrowse.Percent(), name+"_browse_unused_%")
+			}
+		}
+	}
+}
+
+func benchTableIIOne(b *testing.B, mk func(sites.Options) sites.Benchmark, browse bool) {
+	for i := 0; i < b.N; i++ {
+		bench := mk(sites.Options{Scale: benchScale(), Browse: browse})
+		r, err := experiments.Execute(bench)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.Pixel.Percent(), "all_slice_%")
+			b.ReportMetric(r.Pixel.ThreadPercent(browser.MainThread), "main_slice_%")
+			b.ReportMetric(r.Pixel.ThreadPercent(browser.CompositorThread), "compositor_slice_%")
+			b.ReportMetric(r.Pixel.ThreadPercent(browser.RasterThreadBase), "raster1_slice_%")
+			b.ReportMetric(float64(r.Pixel.Total)/1e6, "Minstr")
+		}
+	}
+}
+
+// BenchmarkTableII_* regenerate the four Table II columns.
+func BenchmarkTableII_AmazonDesktop(b *testing.B) { benchTableIIOne(b, sites.AmazonDesktop, false) }
+func BenchmarkTableII_AmazonMobile(b *testing.B)  { benchTableIIOne(b, sites.AmazonMobile, false) }
+func BenchmarkTableII_GoogleMaps(b *testing.B)    { benchTableIIOne(b, sites.GoogleMaps, false) }
+func BenchmarkTableII_Bing(b *testing.B)          { benchTableIIOne(b, sites.Bing, true) }
+
+// BenchmarkFigure2 regenerates the main-thread CPU-utilization timeline of
+// the Amazon browsing session.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chart, err := experiments.Figure2(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + chart.String())
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the backward-pass slicing curves (all
+// benchmarks, all-threads and main-thread series).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.ExecuteTableII(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range runs {
+				b.Log("\n" + experiments.Figure4(r).String())
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the categorization of unnecessary
+// computations.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.ExecuteTableII(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.Figure5(runs).String())
+			for _, r := range runs {
+				d := analysis.Categorize(r.Trace, r.Pixel)
+				b.ReportMetric(100*d.Share["JavaScript"], "js_waste_%")
+			}
+		}
+	}
+}
+
+// BenchmarkBingPartialSlice regenerates the §V-A experiment: slicing the
+// Bing trace from the page-loaded point vs from the end of the session.
+func BenchmarkBingPartialSlice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Execute(sites.Bing(sites.Options{Scale: benchScale(), Browse: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := experiments.ExecuteBingPartial(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.LoadOnlyPct, "load_only_%")
+			b.ReportMetric(res.FullSessionPct, "full_session_%")
+		}
+	}
+}
+
+// BenchmarkCriteriaComparison is the pixel-vs-syscall criteria ablation.
+func BenchmarkCriteriaComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Execute(sites.AmazonDesktop(sites.Options{Scale: benchScale()}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := experiments.ExecuteCriteriaComparison(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.PixelOnly != 0 {
+			b.Fatalf("syscall slice must contain the pixel slice; %d records missing", c.PixelOnly)
+		}
+		if i == 0 {
+			b.ReportMetric(c.PixelPct, "pixel_%")
+			b.ReportMetric(c.SyscallPct, "syscall_%")
+		}
+	}
+}
+
+// BenchmarkAblationControlDeps compares full slicing against
+// data-dependence-only slicing (CDG disabled).
+func BenchmarkAblationControlDeps(b *testing.B) {
+	bench := sites.AmazonDesktop(sites.Options{Scale: benchScale()})
+	br := browser.New(bench.Site, bench.Profile)
+	br.RunSession()
+	f, err := cfg.Build(br.M.Tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deps := cdg.Compute(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		full, err := slicer.Slice(br.M.Tr, deps, slicer.PixelCriteria{}, slicer.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dataOnly, err := slicer.Slice(br.M.Tr, nil, slicer.PixelCriteria{}, slicer.Options{NoControlDeps: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(full.Percent(), "full_%")
+			b.ReportMetric(dataOnly.Percent(), "data_only_%")
+		}
+	}
+}
+
+// BenchmarkAblationLiveMem compares the two live-memory-set implementations'
+// slicer throughput.
+func BenchmarkAblationLiveMem(b *testing.B) {
+	bench := sites.Bing(sites.Options{Scale: benchScale(), Browse: true})
+	br := browser.New(bench.Site, bench.Profile)
+	br.RunSession()
+	f, err := cfg.Build(br.M.Tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deps := cdg.Compute(f)
+	b.Run("WordSet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := slicer.Slice(br.M.Tr, deps, slicer.PixelCriteria{}, slicer.Options{Live: slicer.NewWordSet()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(br.M.Tr.Len())/1e6, "Minstr")
+	})
+	b.Run("PageSet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := slicer.Slice(br.M.Tr, deps, slicer.PixelCriteria{}, slicer.Options{Live: slicer.NewPageSet()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationForwardReuse measures re-running the forward pass vs
+// loading the control dependence graph from stable storage.
+func BenchmarkAblationForwardReuse(b *testing.B) {
+	bench := sites.AmazonMobile(sites.Options{Scale: benchScale()})
+	br := browser.New(bench.Site, bench.Profile)
+	br.RunSession()
+	b.Run("Recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := cfg.Build(br.M.Tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cdg.Compute(f)
+		}
+	})
+	f, _ := cfg.Build(br.M.Tr)
+	deps := cdg.Compute(f)
+	b.Run("SliceOnly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := slicer.Slice(br.M.Tr, deps, slicer.PixelCriteria{}, slicer.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

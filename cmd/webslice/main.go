@@ -1,0 +1,267 @@
+// Command webslice drives the full reproduction: it renders the benchmark
+// sites on the simulated browser, runs the slicing profiler, and regenerates
+// every table and figure of the paper. Run `webslice repro` for everything,
+// or one experiment at a time with -exp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webslice/internal/analysis"
+	"webslice/internal/browser"
+	"webslice/internal/experiments"
+	"webslice/internal/report"
+	"webslice/internal/sites"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = calibrated benchmark size)")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig2|fig4|fig5|bingload|criteria|all")
+	site := fs.String("site", "amazon-desktop", "site: amazon-desktop|amazon-mobile|maps|bing")
+	tracePath := fs.String("o", "", "write the binary trace to this path (trace command)")
+	in := fs.String("i", "", "read a binary trace from this path")
+	topN := fs.Int("top", 20, "how many functions to list (categorize command)")
+	_ = in
+	fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "repro":
+		err = repro(*scale, *exp)
+	case "trace":
+		err = doTrace(*scale, *site, *tracePath)
+	case "slice":
+		err = doSlice(*scale, *site)
+	case "categorize":
+		err = doCategorize(*scale, *site, *topN)
+	case "unused":
+		err = reproTableI(*scale)
+	case "cpu":
+		err = reproFigure2(*scale)
+	case "calibrate":
+		err = calibrate(*scale)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webslice:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: webslice <command> [flags]
+
+commands:
+  repro      regenerate the paper's tables and figures (-exp selects one)
+  trace      render a site and write its binary instruction trace (-site, -o)
+  slice      render a site and print pixel/syscall slice statistics (-site)
+  categorize render+slice a site and list the most-wasteful functions (-site)
+  unused     Table I only (unused JS/CSS bytes)
+  cpu        Figure 2 only (main-thread CPU utilization)
+  calibrate  print per-thread statistics for tuning workload knobs
+
+flags: -scale 1.0 (workload size), -exp all, -site amazon-desktop, -o/-i trace path`)
+}
+
+func benchByName(name string, scale float64, browse bool) (sites.Benchmark, error) {
+	o := sites.Options{Scale: scale, Browse: browse}
+	switch name {
+	case "amazon-desktop":
+		return sites.AmazonDesktop(o), nil
+	case "amazon-mobile":
+		return sites.AmazonMobile(o), nil
+	case "maps":
+		return sites.GoogleMaps(o), nil
+	case "bing":
+		o.Browse = true
+		return sites.Bing(o), nil
+	default:
+		return sites.Benchmark{}, fmt.Errorf("unknown site %q", name)
+	}
+}
+
+func repro(scale float64, exp string) error {
+	all := exp == "all"
+	var runs []*experiments.Run
+	needRuns := all || exp == "table2" || exp == "fig4" || exp == "fig5" || exp == "bingload" || exp == "criteria"
+	if needRuns {
+		fmt.Printf("Running the four Table II benchmarks at scale %.2f...\n\n", scale)
+		var err error
+		runs, err = experiments.ExecuteTableII(scale)
+		if err != nil {
+			return err
+		}
+	}
+	if all || exp == "table2" {
+		fmt.Println(experiments.TableII(runs).String())
+	}
+	if all || exp == "table1" {
+		if err := reproTableI(scale); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig2" {
+		if err := reproFigure2(scale); err != nil {
+			return err
+		}
+	}
+	if all || exp == "fig4" {
+		for _, r := range runs {
+			fmt.Println(experiments.Figure4(r).String())
+		}
+	}
+	if all || exp == "fig5" {
+		fmt.Println(experiments.Figure5(runs).String())
+	}
+	if all || exp == "bingload" {
+		bing := runs[len(runs)-1]
+		res, err := experiments.ExecuteBingPartial(bing)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("§V-A Bing partial slice: load phase = %s instructions\n", report.MInstr(res.LoadInstr))
+		fmt.Printf("  slicing from the page-loaded point:   %.1f%% of load-time instructions in slice\n", res.LoadOnlyPct)
+		fmt.Printf("  slicing from the end of the session:  %.1f%% of load-time instructions in slice\n", res.FullSessionPct)
+		fmt.Printf("  (browsing makes %.1f%% more of the load work useful; the paper measured 49.8%% vs 50.6%%)\n\n",
+			res.FullSessionPct-res.LoadOnlyPct)
+	}
+	if all || exp == "criteria" {
+		t := &report.Table{
+			Title:   "Criteria comparison: pixel-buffer vs system-call slicing (§IV-C)",
+			Headers: []string{"Benchmark", "Pixel slice", "Syscall slice", "Pixel-only recs", "Extra syscall recs"},
+		}
+		for _, r := range runs {
+			c, err := experiments.ExecuteCriteriaComparison(r)
+			if err != nil {
+				return err
+			}
+			t.AddRow(r.Bench.Name, report.Pct1(c.PixelPct), report.Pct1(c.SyscallPct),
+				fmt.Sprint(c.PixelOnly), fmt.Sprint(c.ExtraSyscall))
+		}
+		fmt.Println(t.String())
+	}
+	return nil
+}
+
+func reproTableI(scale float64) error {
+	rows, err := experiments.ExecuteTableI(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.TableI(rows).String())
+	return nil
+}
+
+func reproFigure2(scale float64) error {
+	chart, err := experiments.Figure2(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart.String())
+	return nil
+}
+
+func doTrace(scale float64, site, out string) error {
+	b, err := benchByName(site, scale, false)
+	if err != nil {
+		return err
+	}
+	br := browser.New(b.Site, b.Profile)
+	br.RunSession()
+	if len(br.Errors) > 0 {
+		return br.Errors[0]
+	}
+	sum := br.M.Tr.Summarize()
+	fmt.Printf("%s: %d instructions, %d syscalls, %d pixel markers, %d functions, %d threads\n",
+		b.Name, sum.Total, sum.Syscalls, sum.Markers, sum.Functions, sum.Threads)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := br.M.Tr.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", out)
+	}
+	return nil
+}
+
+func doSlice(scale float64, site string) error {
+	b, err := benchByName(site, scale, site == "bing")
+	if err != nil {
+		return err
+	}
+	r, err := experiments.Execute(b)
+	if err != nil {
+		return err
+	}
+	c, err := experiments.ExecuteCriteriaComparison(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s instructions\n", b.Name, report.MInstr(r.Pixel.Total))
+	fmt.Printf("  pixel slice:   %s\n", report.Pct1(r.Pixel.Percent()))
+	fmt.Printf("  syscall slice: %s (extra records: %d)\n", report.Pct1(c.SyscallPct), c.ExtraSyscall)
+	for _, th := range r.Trace.Threads {
+		fmt.Printf("  %-28s %8s of %s\n", th.Name,
+			report.Pct1(r.Pixel.ThreadPercent(th.ID)), report.MInstr(r.Pixel.ByThread[th.ID]))
+	}
+	return nil
+}
+
+func doCategorize(scale float64, site string, topN int) error {
+	b, err := benchByName(site, scale, site == "bing")
+	if err != nil {
+		return err
+	}
+	r, err := experiments.Execute(b)
+	if err != nil {
+		return err
+	}
+	d := analysis.Categorize(r.Trace, r.Pixel)
+	fmt.Printf("%s: %d unnecessary instructions (%.0f%% categorized)\n", b.Name, d.UnnecessaryTotal, d.CoveragePct)
+	for _, c := range analysis.Categories {
+		fmt.Printf("  %-16s %s\n", c, report.Pct1(100*d.Share[c]))
+	}
+	fmt.Println("\nMost-wasteful functions:")
+	for _, fw := range analysis.TopWasted(r.Trace, r.Pixel, topN) {
+		fmt.Printf("  %9d / %9d  %-14s %s\n", fw.Wasted, fw.Total, fw.Namespace, fw.Name)
+	}
+	return nil
+}
+
+func calibrate(scale float64) error {
+	for _, b := range sites.TableII(scale) {
+		r, err := experiments.Execute(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s: total %s, pixel slice %s, loadedIdx %s, markers %d\n",
+			b.Name, report.MInstr(r.Pixel.Total), report.Pct1(r.Pixel.Percent()),
+			report.MInstr(r.Browser.LoadedIndex), r.Browser.Raster.MarkedTiles)
+		for _, th := range r.Trace.Threads {
+			fmt.Printf("   %-28s %8s of %10s\n", th.Name,
+				report.Pct1(r.Pixel.ThreadPercent(th.ID)), report.MInstr(r.Pixel.ByThread[th.ID]))
+		}
+		d := analysis.Categorize(r.Trace, r.Pixel)
+		fmt.Printf("   categories (cov %.0f%%): ", d.CoveragePct)
+		for _, c := range analysis.Categories {
+			fmt.Printf("%s %.0f%%  ", c, 100*d.Share[c])
+		}
+		u := analysis.UnusedBytes(r.Browser)
+		fmt.Printf("\n   unused bytes: %s of %s (%.0f%%)\n\n", report.KB(u.UnusedBytes), report.KB(u.TotalBytes), u.Percent())
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module webslice
+
+go 1.22

@@ -1,0 +1,346 @@
+package browser
+
+import (
+	"fmt"
+
+	"webslice/internal/browser/dom"
+	"webslice/internal/browser/js"
+	"webslice/internal/browser/ns"
+	"webslice/internal/browser/sched"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// This file implements the JavaScript ↔ engine bindings: the DOM API surface
+// the workloads use (getElementById, textContent, style mutation, event
+// listeners, timers, console, beacons). Every binding performs its effect
+// through traced instructions so JS-driven mutations carry provenance into
+// the rendering pipeline.
+
+// styleProps maps JS style property names to computed-style offsets.
+var styleProps = map[string]struct {
+	off  vmem.Addr
+	size int
+}{
+	"color":      {4, 4},  // css.OffColor
+	"background": {8, 4},  // css.OffBg
+	"width":      {12, 4}, // css.OffWidth
+	"height":     {16, 4}, // css.OffHeight
+	"top":        {32, 4}, // css.OffTop
+	"left":       {36, 4}, // css.OffLeft
+	"display":    {0, 1},  // css.OffDisplay
+	"zIndex":     {2, 2},  // css.OffZIndex
+}
+
+func (b *Browser) registerNatives() {
+	m := b.M
+	e := b.JS
+	getByID := m.Func("blink::TreeScope::getElementById", "")
+	consoleFn := m.Func("v8::console::Log", ns.V8)
+	beaconFn := m.Func("blink::NavigatorBeacon::sendBeacon", "")
+
+	// document.getElementById(id) -> element value via the traced id-index
+	// scan.
+	e.RegisterNative("m:getElementById", func(args []isa.Reg) isa.Reg {
+		if len(args) < 2 {
+			return isa.RegNone
+		}
+		idStr := b.regString(args[1])
+		node, addrReg := b.DOM.LookupID(getByID, idStr)
+		if node == nil {
+			return m.Imm(js.MakeValue(js.TagUndef, 0))
+		}
+		// Tag the traced lookup result as an element value.
+		return m.Op(isa.OpOr, addrReg, m.Imm(js.MakeValue(js.TagElem, 0)))
+	})
+
+	// el.addEventListener(type, fn): store the handler index on the node.
+	e.RegisterNative("m:addEventListener", func(args []isa.Reg) isa.Reg {
+		if len(args) < 3 {
+			return isa.RegNone
+		}
+		node := b.regElem(args[0])
+		fnVal := m.Val(args[2])
+		if node == nil || js.TagOf(fnVal) != js.TagFunc {
+			return isa.RegNone
+		}
+		// handler slot = function index + 1, derived traced from the value.
+		idx := m.OpImm(isa.OpAnd, args[2], 0xFFFFFFFF)
+		idx = m.OpImm(isa.OpAdd, idx, 1)
+		addr := m.OpImm(isa.OpAnd, args[0], 0xFFFFFFFF)
+		addr = m.OpImm(isa.OpAdd, addr, uint64(dom.OffHandler))
+		m.StoreVia(addr, 4, idx)
+		return isa.RegNone
+	})
+
+	// setTimeout(fn, ms): schedule a main-thread timer task.
+	e.RegisterNative("setTimeout", func(args []isa.Reg) isa.Reg {
+		if len(args) < 2 {
+			return isa.RegNone
+		}
+		fnVal := m.Val(args[0])
+		delay := js.PayloadOf(m.Val(args[1]))
+		if js.TagOf(fnVal) != js.TagFunc {
+			return isa.RegNone
+		}
+		idx := int(js.PayloadOf(fnVal))
+		b.S.PostDelayed(MainThread, ns.V8+"!TimerFired", delay*sched.CyclesPerMs, func() {
+			if _, err := b.JS.CallByIndex(idx, nil); err != nil {
+				b.Errors = append(b.Errors, err)
+			}
+			if b.dirty() {
+				b.renderPipeline(false)
+			}
+		})
+		return isa.RegNone
+	})
+
+	// console.log(v): formats and writes to stdout (a real output syscall).
+	e.RegisterNative("m:log", func(args []isa.Reg) isa.Reg {
+		m.Call(consoleFn, func() {
+			buf := m.IOb.Alloc(32)
+			var v isa.Reg
+			if len(args) > 1 {
+				v = args[1]
+			} else {
+				v = m.Imm(0)
+			}
+			m.StoreU64(buf, v)
+			m.Syscall(isa.SysWrite, v, isa.RegNone,
+				[]vmem.Range{{Addr: buf, Size: 8}}, nil, nil)
+		})
+		return isa.RegNone
+	})
+
+	// navigator.sendBeacon(url, len): analytics upload through the IO
+	// thread — network output with no visual effect (only the syscall-based
+	// criteria capture it).
+	e.RegisterNative("m:sendBeacon", func(args []isa.Reg) isa.Reg {
+		size := 64
+		if len(args) >= 3 {
+			size = int(js.PayloadOf(m.Val(args[2])))
+		}
+		if size < 8 {
+			size = 8
+		}
+		if size > 4096 {
+			size = 4096
+		}
+		buf := m.IOb.Alloc(size)
+		m.Call(beaconFn, func() {
+			v := m.Imm(0xBEAC)
+			m.At("fill")
+			for off := 0; off < size; off += 8 {
+				v = m.OpImm(isa.OpAdd, v, 0x11)
+				m.StoreU64(buf+vmem.Addr(off), v)
+			}
+		})
+		b.S.Post(IOThread, ns.Net+"!PingLoader::SendBeacon", func() {
+			m.Syscall(isa.SysSendto, isa.RegNone, isa.RegNone,
+				[]vmem.Range{{Addr: buf, Size: uint32(size)}}, nil, nil)
+		})
+		return isa.RegNone
+	})
+
+	// performance.now() via clock_gettime.
+	e.RegisterNative("m:now", func(args []isa.Reg) isa.Reg {
+		ts := m.IOb.Alloc(16)
+		cyc := m.Cycle()
+		fill := make([]byte, 16)
+		for i := 0; i < 8; i++ {
+			fill[i] = byte(cyc >> (8 * i))
+		}
+		return m.Syscall(isa.SysClockGettime, isa.RegNone, isa.RegNone,
+			nil, []vmem.Range{{Addr: ts, Size: 16}}, fill)
+	})
+
+	// Math.floor / Math.min / Math.max on tagged ints.
+	e.RegisterNative("m:floor", func(args []isa.Reg) isa.Reg {
+		if len(args) < 2 {
+			return isa.RegNone
+		}
+		return m.Op(isa.OpMov, args[1], args[1])
+	})
+	e.RegisterNative("m:min", func(args []isa.Reg) isa.Reg {
+		if len(args) < 3 {
+			return isa.RegNone
+		}
+		return m.Op(isa.OpMin, args[1], args[2])
+	})
+	e.RegisterNative("m:max", func(args []isa.Reg) isa.Reg {
+		if len(args) < 3 {
+			return isa.RegNone
+		}
+		return m.Op(isa.OpMax, args[1], args[2])
+	})
+
+	// Property get/set bridge (el.textContent, el.style.*, el.offsetHeight).
+	e.Props = func(obj isa.Reg, prop string, val isa.Reg, isSet bool) isa.Reg {
+		objVal := m.Val(obj)
+		switch js.TagOf(objVal) {
+		case js.TagElem:
+			node := b.DOM.ByAddr(vmem.Addr(js.PayloadOf(objVal)))
+			if node == nil {
+				return isa.RegNone
+			}
+			return b.elemProp(node, obj, prop, val, isSet)
+		case tagStyle:
+			node := b.DOM.ByAddr(vmem.Addr(js.PayloadOf(objVal)))
+			if node == nil {
+				return isa.RegNone
+			}
+			if isSet {
+				return b.styleSet(node, prop, val)
+			}
+			return b.styleGet(node, prop)
+		default:
+			return isa.RegNone
+		}
+	}
+}
+
+// tagStyle tags a style-reference value; the payload is the owning node's
+// address (the style record itself may not exist before the first style
+// resolve).
+const tagStyle = 6
+
+func (b *Browser) elemProp(node *dom.Node, obj isa.Reg, prop string, val isa.Reg, isSet bool) isa.Reg {
+	m := b.M
+	switch prop {
+	case "style":
+		if isSet {
+			return isa.RegNone
+		}
+		// Touch the style pointer (CSSStyleDeclaration creation) and hand
+		// back a style reference carrying the node identity.
+		m.LoadU32(node.Addr + dom.OffStyle)
+		addr := m.OpImm(isa.OpAnd, obj, 0xFFFFFFFF)
+		return m.Op(isa.OpOr, addr, m.Imm(js.MakeValue(tagStyle, 0)))
+	case "textContent":
+		if !isSet {
+			ta := m.LoadU32(node.Addr + dom.OffText)
+			return m.Op(isa.OpOr, ta, m.Imm(js.MakeValue(js.TagStr, 0)))
+		}
+		s := b.regString(val)
+		strAddr := b.JS.InternString(s)
+		b.DOM.SetTextRaw(node, strAddr+4, len(s), s)
+		b.damaged[node] = true
+		return val
+	case "offsetHeight", "offsetWidth":
+		if box := b.boxAddr(node); box != 0 {
+			off := vmem.Addr(12) // layout.OffH
+			if prop == "offsetWidth" {
+				off = 8
+			}
+			return m.LoadU32(box + off)
+		}
+		return m.Imm(js.MakeValue(js.TagInt, 0))
+	default:
+		return isa.RegNone
+	}
+}
+
+func (b *Browser) boxAddr(node *dom.Node) vmem.Addr {
+	if b.Layout == nil {
+		return 0
+	}
+	if box := b.Layout.BoxOf(node); box != nil {
+		return box.Addr
+	}
+	return 0
+}
+
+// styleSet records a JS inline-style mutation: the value is written to a
+// traced override cell (the element's inline style declaration) that the
+// next style resolve re-applies over the cascade, and — when a computed
+// style record already exists — also written through immediately so later
+// reads in the same script observe it.
+func (b *Browser) styleSet(node *dom.Node, prop string, val isa.Reg) isa.Reg {
+	m := b.M
+	sp, ok := styleProps[prop]
+	if !ok {
+		return isa.RegNone
+	}
+	cell, ok2 := b.inlineCell(node, prop)
+	if !ok2 {
+		cell = m.Heap.Alloc(8)
+		b.inline[node] = append(b.inline[node], inlineProp{prop: prop, off: sp.off, size: sp.size, cell: cell})
+	}
+	m.StoreU64(cell, val)
+	if b.Styles != nil {
+		if style := b.Styles.StyleOf(node); style != 0 {
+			m.Store(style+sp.off, sp.size, val)
+		}
+	}
+	b.damaged[node] = true
+	if prop != "color" && prop != "background" {
+		b.rootDamage = true
+	}
+	return val
+}
+
+func (b *Browser) inlineCell(node *dom.Node, prop string) (vmem.Addr, bool) {
+	for _, p := range b.inline[node] {
+		if p.prop == prop {
+			return p.cell, true
+		}
+	}
+	return 0, false
+}
+
+// applyInlineStyles re-applies JS inline overrides after a cascade pass
+// (inline style wins over sheet rules).
+func (b *Browser) applyInlineStyles() {
+	m := b.M
+	for node, props := range b.inline {
+		style := b.Styles.StyleOf(node)
+		if style == 0 {
+			continue
+		}
+		m.At("inline")
+		for _, p := range props {
+			v := m.LoadU64(p.cell)
+			m.Store(style+p.off, p.size, v)
+		}
+	}
+}
+
+func (b *Browser) styleGet(node *dom.Node, prop string) isa.Reg {
+	m := b.M
+	sp, ok := styleProps[prop]
+	if !ok {
+		return isa.RegNone
+	}
+	if cell, ok2 := b.inlineCell(node, prop); ok2 {
+		return m.LoadU64(cell)
+	}
+	if b.Styles != nil {
+		if style := b.Styles.StyleOf(node); style != 0 {
+			return m.Load(style+sp.off, sp.size)
+		}
+	}
+	return m.Imm(js.MakeValue(js.TagInt, 0))
+}
+
+// regElem resolves an element-tagged value register to its DOM node.
+func (b *Browser) regElem(r isa.Reg) *dom.Node {
+	v := b.M.Val(r)
+	if js.TagOf(v) != js.TagElem {
+		return nil
+	}
+	return b.DOM.ByAddr(vmem.Addr(js.PayloadOf(v)))
+}
+
+// regString renders a JS value register to a Go string.
+func (b *Browser) regString(r isa.Reg) string {
+	v := b.M.Val(r)
+	if js.TagOf(v) == js.TagStr {
+		if s, ok := b.JS.StringAt(vmem.Addr(js.PayloadOf(v))); ok {
+			return s
+		}
+	}
+	return fmt.Sprintf("%d", js.PayloadOf(v))
+}
+
+var _ = vm.MaxAccess // doc reference

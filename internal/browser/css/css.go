@@ -1,0 +1,371 @@
+// Package css implements the CSS engine: a traced parser producing the CSS
+// Object Model in machine memory, selector matching with rule bucketing (as
+// real engines do), and the cascade writing computed styles. Rule selectors
+// are hashed from the stylesheet's source bytes with traced ops, so a
+// matched rule's provenance reaches back to the network; rules that never
+// match leave only their parse cost behind — the unused-CSS waste of the
+// paper's Table I.
+package css
+
+import (
+	"strconv"
+	"strings"
+
+	"webslice/internal/browser/dom"
+	"webslice/internal/browser/ns"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// Computed-style record layout (one per element, StyleSize bytes).
+const StyleSize = 64
+
+// Style field offsets.
+const (
+	OffDisplay  = 0  // u8: 0 none, 1 block, 2 inline
+	OffPosition = 1  // u8: 0 static, 1 relative, 2 absolute, 3 fixed
+	OffZIndex   = 2  // u16 (offset by 100: stored z = css z + 100)
+	OffColor    = 4  // u32 RGBA
+	OffBg       = 8  // u32 RGBA (0 = transparent)
+	OffWidth    = 12 // u32 px (0 = auto)
+	OffHeight   = 16 // u32 px (0 = auto)
+	OffMargin   = 20 // u16 px
+	OffPadding  = 22 // u16 px
+	OffFontSize = 24 // u16 px
+	OffOpacity  = 26 // u8 0..255
+	OffHasLayer = 27 // u8: element gets its own compositor layer
+	OffBorderW  = 28 // u16 px
+	OffTop      = 32 // u32 px (positioned elements)
+	OffLeft     = 36 // u32 px
+)
+
+// Display values.
+const (
+	DisplayNone   = 0
+	DisplayBlock  = 1
+	DisplayInline = 2
+)
+
+// Property ids.
+type Prop uint8
+
+const (
+	PropDisplay Prop = iota + 1
+	PropPosition
+	PropZIndex
+	PropColor
+	PropBackground
+	PropWidth
+	PropHeight
+	PropMargin
+	PropPadding
+	PropFontSize
+	PropOpacity
+	PropBorderWidth
+	PropTop
+	PropLeft
+)
+
+var propByName = map[string]Prop{
+	"display": PropDisplay, "position": PropPosition, "z-index": PropZIndex,
+	"color": PropColor, "background": PropBackground, "width": PropWidth,
+	"height": PropHeight, "margin": PropMargin, "padding": PropPadding,
+	"font-size": PropFontSize, "opacity": PropOpacity,
+	"border-width": PropBorderWidth, "top": PropTop, "left": PropLeft,
+}
+
+// propOffset maps a property to its style-record offset and size.
+func propOffset(p Prop) (off vmem.Addr, size int) {
+	switch p {
+	case PropDisplay:
+		return OffDisplay, 1
+	case PropPosition:
+		return OffPosition, 1
+	case PropZIndex:
+		return OffZIndex, 2
+	case PropColor:
+		return OffColor, 4
+	case PropBackground:
+		return OffBg, 4
+	case PropWidth:
+		return OffWidth, 4
+	case PropHeight:
+		return OffHeight, 4
+	case PropMargin:
+		return OffMargin, 2
+	case PropPadding:
+		return OffPadding, 2
+	case PropFontSize:
+		return OffFontSize, 2
+	case PropOpacity:
+		return OffOpacity, 1
+	case PropBorderWidth:
+		return OffBorderW, 2
+	case PropTop:
+		return OffTop, 4
+	case PropLeft:
+		return OffLeft, 4
+	default:
+		return 0, 0
+	}
+}
+
+// Decl is one parsed declaration; Addr points at its traced (prop, value)
+// record in the CSSOM.
+type Decl struct {
+	Prop  Prop
+	Value uint32
+	Addr  vmem.Addr
+}
+
+// Selector is a simple selector: tag, #id hash, .class hash (any may be
+// zero), with an optional ancestor class hash for descendant selectors.
+type Selector struct {
+	Tag      dom.Tag
+	IDHash   uint32
+	Class    uint32
+	Ancestor uint32 // class hash of required ancestor (descendant selector)
+}
+
+// Rule is one style rule.
+type Rule struct {
+	Sel  Selector
+	Spec int // specificity (id=100, class=10, tag=1; + source order tiebreak)
+	// Decls are the declarations.
+	Decls []Decl
+	// Addr is the rule record in CSSOM memory (selector hashes live here).
+	Addr vmem.Addr
+	// SrcBytes is the rule's extent in the stylesheet source.
+	SrcBytes int
+	// Used marks that the rule matched at least one element (Table I
+	// coverage).
+	Used  bool
+	order int
+}
+
+// Sheet is a parsed stylesheet plus usage accounting.
+type Sheet struct {
+	Rules []*Rule
+	// Bytes is the stylesheet source length.
+	Bytes int
+}
+
+// UsedBytes returns source bytes belonging to rules that matched.
+func (s *Sheet) UsedBytes() int {
+	n := 0
+	for _, r := range s.Rules {
+		if r.Used {
+			n += r.SrcBytes
+		}
+	}
+	return n
+}
+
+// Engine owns parsing and style resolution.
+type Engine struct {
+	M *vm.Machine
+
+	parseFn, matchFn, cascadeFn, defaultFn *vm.Fn
+	Sheets                                 []*Sheet
+}
+
+// NewEngine wires a CSS engine to the machine.
+func NewEngine(m *vm.Machine) *Engine {
+	return &Engine{
+		M:         m,
+		parseFn:   m.Func("blink::CSSParserImpl::ParseStyleSheet", ns.CSS),
+		matchFn:   m.Func("blink::SelectorChecker::Match", ns.CSS),
+		cascadeFn: m.Func("blink::StyleCascade::Apply", ns.CSS),
+		defaultFn: m.Func("blink::ComputedStyle::InitialStyle", ns.CSS),
+	}
+}
+
+// Parse tokenizes the stylesheet at src (text given by sheet) into rules.
+// Selector hashes are computed from source bytes with traced FNV; parsed
+// values are stored into CSSOM memory with traced stores.
+func (e *Engine) Parse(src vmem.Range, sheet string) *Sheet {
+	m := e.M
+	out := &Sheet{Bytes: len(sheet)}
+	m.Call(e.parseFn, func() {
+		pos := 0
+		order := 0
+		for pos < len(sheet) {
+			open := strings.IndexByte(sheet[pos:], '{')
+			if open < 0 {
+				break
+			}
+			clos := strings.IndexByte(sheet[pos+open:], '}')
+			if clos < 0 {
+				break
+			}
+			selText := strings.TrimSpace(sheet[pos : pos+open])
+			body := sheet[pos+open+1 : pos+open+clos]
+			ruleStart := pos
+			ruleLen := open + clos + 1
+			pos += open + clos + 1
+			if selText == "" {
+				continue
+			}
+			order++
+			r := e.parseRule(src, sheet, ruleStart, ruleLen, selText, body, order)
+			out.Rules = append(out.Rules, r)
+		}
+	})
+	e.Sheets = append(e.Sheets, out)
+	return out
+}
+
+// parseRule builds one rule: traced scan of its bytes, traced selector
+// hashing, traced stores of the rule record and declarations.
+func (e *Engine) parseRule(src vmem.Range, sheet string, start, length int, selText, body string, order int) *Rule {
+	m := e.M
+	r := &Rule{SrcBytes: length, order: order}
+	// Scan the rule's source span (chunked traced loads).
+	m.At("rulescan")
+	acc := m.Imm(1)
+	for c := 0; c < length; c += 32 {
+		sz := min(32, length-c)
+		chunk := m.Load(src.Addr+vmem.Addr(start+c), sz)
+		acc = m.Op(isa.OpOr, acc, chunk)
+	}
+
+	// Selector: supports "tag", ".class", "#id", and "ancestorclass desc".
+	parts := strings.Fields(selText)
+	target := parts[len(parts)-1]
+	if len(parts) > 1 {
+		anc := strings.TrimPrefix(parts[0], ".")
+		r.Sel.Ancestor = dom.Hash(anc)
+		r.Spec += 10
+	}
+	hashFrom := func(lit string) (uint32, isa.Reg) {
+		off := strings.Index(sheet[start:start+length], lit)
+		if off < 0 {
+			return dom.Hash(lit), isa.RegNone
+		}
+		return dom.Hash(lit), e.hashBytes(src.Addr+vmem.Addr(start+off), len(lit))
+	}
+	r.Addr = m.Heap.Alloc(24)
+	var selReg isa.Reg = isa.RegNone
+	switch {
+	case strings.HasPrefix(target, "#"):
+		h, reg := hashFrom(target[1:])
+		r.Sel.IDHash = h
+		r.Spec += 100
+		selReg = reg
+	case strings.HasPrefix(target, "."):
+		h, reg := hashFrom(target[1:])
+		r.Sel.Class = h
+		r.Spec += 10
+		selReg = reg
+	default:
+		r.Sel.Tag = dom.TagByName(target)
+		r.Spec++
+	}
+	// Rule record: selector hash (traced value when available), tag,
+	// ancestor.
+	m.At("rulestore")
+	if selReg != isa.RegNone {
+		m.StoreU32(r.Addr, selReg)
+	} else {
+		m.StoreU32(r.Addr, m.Imm(uint64(r.Sel.IDHash|r.Sel.Class)))
+	}
+	m.Store(r.Addr+4, 2, m.Imm(uint64(r.Sel.Tag)))
+	m.StoreU32(r.Addr+8, m.Imm(uint64(r.Sel.Ancestor)))
+
+	// Declarations.
+	for _, declText := range strings.Split(body, ";") {
+		declText = strings.TrimSpace(declText)
+		if declText == "" {
+			continue
+		}
+		colon := strings.IndexByte(declText, ':')
+		if colon < 0 {
+			continue
+		}
+		name := strings.TrimSpace(declText[:colon])
+		val := strings.TrimSpace(declText[colon+1:])
+		prop, ok := propByName[name]
+		if !ok {
+			continue
+		}
+		d := Decl{Prop: prop, Value: parseValue(prop, val)}
+		d.Addr = m.Heap.Alloc(8)
+		m.At("declstore")
+		m.Store(d.Addr, 1, m.Imm(uint64(prop)))
+		// The declaration value is derived from the scanned source bytes:
+		// fold the scan accumulator in so provenance holds (value ^ acc ^ acc).
+		v := m.Imm(uint64(d.Value))
+		v = m.Op(isa.OpXor, v, acc)
+		v = m.Op(isa.OpXor, v, acc)
+		m.StoreU32(d.Addr+4, v)
+		r.Decls = append(r.Decls, d)
+	}
+	return r
+}
+
+func (e *Engine) hashBytes(src vmem.Addr, n int) isa.Reg {
+	m := e.M
+	h := m.Imm(2166136261)
+	m.At("fnv")
+	for i := 0; i < n; i++ {
+		b := m.Load(src+vmem.Addr(i), 1)
+		h = m.Op(isa.OpXor, h, b)
+		h = m.OpImm(isa.OpMul, h, 16777619)
+		h = m.OpImm(isa.OpAnd, h, 0xFFFFFFFF)
+	}
+	return h
+}
+
+func parseValue(p Prop, val string) uint32 {
+	val = strings.TrimSuffix(strings.TrimSpace(val), "px")
+	switch p {
+	case PropDisplay:
+		switch val {
+		case "none":
+			return DisplayNone
+		case "inline":
+			return DisplayInline
+		default:
+			return DisplayBlock
+		}
+	case PropPosition:
+		switch val {
+		case "relative":
+			return 1
+		case "absolute":
+			return 2
+		case "fixed":
+			return 3
+		default:
+			return 0
+		}
+	case PropColor, PropBackground:
+		if strings.HasPrefix(val, "#") {
+			n, _ := strconv.ParseUint(val[1:], 16, 32)
+			return uint32(n) | 0xFF000000
+		}
+		switch val {
+		case "transparent":
+			return 0
+		case "white":
+			return 0xFFFFFFFF
+		case "black":
+			return 0xFF000000
+		case "red":
+			return 0xFFFF0000
+		case "blue":
+			return 0xFF0000FF
+		}
+		return 0xFF888888
+	case PropZIndex:
+		n, _ := strconv.Atoi(val)
+		return uint32(n + 100)
+	case PropOpacity:
+		f, _ := strconv.ParseFloat(val, 64)
+		return uint32(f * 255)
+	default:
+		n, _ := strconv.Atoi(val)
+		return uint32(n)
+	}
+}

@@ -1,0 +1,207 @@
+package css
+
+import (
+	"sort"
+
+	"webslice/internal/browser/dom"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// Resolver matches rules against elements and applies the cascade. Rules are
+// bucketed by their rightmost selector key (as Blink buckets by id/class/tag)
+// so each element only tests plausible candidates; unused rules typically
+// cost only their parse work, which is exactly the waste Table I measures.
+type Resolver struct {
+	M *vm.Machine
+	E *Engine
+
+	byID, byClass map[uint32][]*Rule
+	byTag         map[dom.Tag][]*Rule
+
+	// Resolved maps element -> computed style record.
+	Resolved map[*dom.Node]vmem.Addr
+	// MatchAttempts and RulesApplied count work for reports.
+	MatchAttempts, RulesApplied int
+}
+
+// NewResolver indexes all rules parsed so far by the engine.
+func NewResolver(e *Engine) *Resolver {
+	r := &Resolver{
+		M:        e.M,
+		E:        e,
+		byID:     make(map[uint32][]*Rule),
+		byClass:  make(map[uint32][]*Rule),
+		byTag:    make(map[dom.Tag][]*Rule),
+		Resolved: make(map[*dom.Node]vmem.Addr),
+	}
+	for _, s := range e.Sheets {
+		for _, rule := range s.Rules {
+			switch {
+			case rule.Sel.IDHash != 0:
+				r.byID[rule.Sel.IDHash] = append(r.byID[rule.Sel.IDHash], rule)
+			case rule.Sel.Class != 0:
+				r.byClass[rule.Sel.Class] = append(r.byClass[rule.Sel.Class], rule)
+			default:
+				r.byTag[rule.Sel.Tag] = append(r.byTag[rule.Sel.Tag], rule)
+			}
+		}
+	}
+	return r
+}
+
+// Resolve computes styles for the given elements (pass tree.Elements() for a
+// full recalc). Each element gets defaults, candidate matching, and cascade
+// application in specificity-then-order sequence.
+func (r *Resolver) Resolve(t *dom.Tree, elements []*dom.Node) {
+	m := r.M
+	for _, el := range elements {
+		if el.Type != dom.ElementNode {
+			continue
+		}
+		style, fresh := r.Resolved[el]
+		if !fresh {
+			style = m.Heap.Alloc(StyleSize)
+			r.Resolved[el] = style
+		}
+		r.applyDefaults(el, style)
+		m.Call(r.E.matchFn, func() {
+			cands := r.candidates(el)
+			m.Loop("cands", len(cands), func(i int) {
+				rule := cands[i]
+				r.MatchAttempts++
+				if r.match(el, rule) {
+					rule.Used = true
+					r.apply(rule, style)
+				}
+			})
+		})
+		r.deriveLayerBit(style)
+		// Publish the style address on the node (traced pointer store).
+		m.StoreU32(el.Addr+dom.OffStyle, m.Imm(uint64(style)))
+	}
+}
+
+func (r *Resolver) applyDefaults(el *dom.Node, style vmem.Addr) {
+	m := r.M
+	m.Call(r.E.defaultFn, func() {
+		zero := m.Imm(0)
+		m.Store(style, 8, zero)
+		for off := 8; off < StyleSize; off += 8 {
+			m.Store(style+vmem.Addr(off), 8, zero)
+		}
+		disp := uint64(DisplayBlock)
+		switch el.Tag {
+		case dom.TagSpan, dom.TagA, dom.TagImg, dom.TagButton, dom.TagInput:
+			disp = DisplayInline
+		case dom.TagScript, dom.TagStyle, dom.TagLink, dom.TagTitle, dom.TagHead:
+			disp = DisplayNone
+		}
+		m.Store(style+OffDisplay, 1, m.Imm(disp))
+		m.Store(style+OffFontSize, 2, m.Imm(16))
+		m.Store(style+OffColor, 4, m.Imm(0xFF000000))
+		m.Store(style+OffOpacity, 1, m.Imm(255))
+		m.Store(style+OffZIndex, 2, m.Imm(100)) // z-index 0, offset encoding
+	})
+}
+
+// candidates returns plausible rules sorted by (specificity, source order).
+func (r *Resolver) candidates(el *dom.Node) []*Rule {
+	var cands []*Rule
+	cands = append(cands, r.byTag[el.Tag]...)
+	if el.Class != "" {
+		cands = append(cands, r.byClass[dom.Hash(el.Class)]...)
+	}
+	if el.ID != "" {
+		cands = append(cands, r.byID[dom.Hash(el.ID)]...)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Spec != cands[j].Spec {
+			return cands[i].Spec < cands[j].Spec
+		}
+		return cands[i].order < cands[j].order
+	})
+	return cands
+}
+
+// match performs the traced selector check: node hashes vs rule hashes, plus
+// an ancestor walk for descendant selectors.
+func (r *Resolver) match(el *dom.Node, rule *Rule) bool {
+	m := r.M
+	m.At("check")
+	var cond isa.Reg
+	switch {
+	case rule.Sel.IDHash != 0:
+		got := m.LoadU32(el.Addr + dom.OffIDHash)
+		want := m.LoadU32(rule.Addr)
+		cond = m.Op(isa.OpCmpEQ, got, want)
+	case rule.Sel.Class != 0:
+		got := m.LoadU32(el.Addr + dom.OffClassHash)
+		want := m.LoadU32(rule.Addr)
+		cond = m.Op(isa.OpCmpEQ, got, want)
+	default:
+		got := m.Load(el.Addr+dom.OffTag, 2)
+		want := m.Load(rule.Addr+4, 2)
+		cond = m.Op(isa.OpCmpEQ, got, want)
+	}
+	matched := m.Branch(cond)
+	if !matched {
+		m.At("reject")
+		return false
+	}
+	if rule.Sel.Ancestor != 0 {
+		m.At("ancestor")
+		ok := false
+		want := m.LoadU32(rule.Addr + 8)
+		for p := el.Parent; p != nil; p = p.Parent {
+			m.At("walkup")
+			got := m.LoadU32(p.Addr + dom.OffClassHash)
+			eq := m.Op(isa.OpCmpEQ, got, want)
+			if m.Branch(eq) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	m.At("matched")
+	return true
+}
+
+// apply writes the rule's declarations into the style record (traced loads
+// of the CSSOM decl records, traced stores into the style).
+func (r *Resolver) apply(rule *Rule, style vmem.Addr) {
+	m := r.M
+	m.Call(r.E.cascadeFn, func() {
+		for _, d := range rule.Decls {
+			m.At("decl")
+			v := m.LoadU32(d.Addr + 4)
+			off, size := propOffset(d.Prop)
+			if size == 0 {
+				continue
+			}
+			m.Store(style+off, size, v)
+			r.RulesApplied++
+		}
+	})
+}
+
+// deriveLayerBit computes whether the element promotes to its own compositor
+// layer: positioned absolute/fixed, or a non-default z-index.
+func (r *Resolver) deriveLayerBit(style vmem.Addr) {
+	m := r.M
+	m.At("layerbit")
+	pos := m.Load(style+OffPosition, 1)
+	z := m.Load(style+OffZIndex, 2)
+	abs := m.OpImm(isa.OpCmpGE, pos, 2)
+	zn := m.OpImm(isa.OpCmpNE, z, 100)
+	bit := m.Op(isa.OpOr, abs, zn)
+	m.Store(style+OffHasLayer, 1, bit)
+}
+
+// StyleOf returns the computed style record for an element (0 if not yet
+// resolved).
+func (r *Resolver) StyleOf(el *dom.Node) vmem.Addr { return r.Resolved[el] }

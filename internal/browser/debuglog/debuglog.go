@@ -1,0 +1,76 @@
+// Package debuglog models the debug bookkeeping built into a release build
+// of Chromium: histogram samples, trace-event stubs, and counters that are
+// updated on hot paths even with all debugging options compiled out. The
+// paper's Figure 5 finds this "Debugging" category to be one of the three
+// largest groups of potentially unnecessary instructions — nothing a user
+// sees ever reads these counters.
+package debuglog
+
+import (
+	"webslice/internal/browser/ns"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// Log is the per-process debug bookkeeping sink.
+type Log struct {
+	M *vm.Machine
+	// Verbosity scales how much bookkeeping each event performs; it is a
+	// workload-calibration knob (see internal/sites).
+	Verbosity int
+
+	histFn, traceFn *vm.Fn
+	buckets         vmem.Addr
+	cursorAddr      vmem.Addr
+	ring            vmem.Addr
+}
+
+// New wires the debug log to the machine.
+func New(m *vm.Machine, verbosity int) *Log {
+	l := &Log{
+		M:         m,
+		Verbosity: verbosity,
+		histFn:    m.Func("base::HistogramBase::Add", ns.Debug),
+		traceFn:   m.Func("base::trace_event::TraceLog::AddTraceEvent", ns.Debug),
+		buckets:   m.Heap.Alloc(64 * 8),
+		ring:      m.Heap.Alloc(4096),
+	}
+	l.cursorAddr = m.Heap.Alloc(8)
+	return l
+}
+
+// Histogram records a sample: bucket selection (traced compare chain) plus a
+// counter bump, repeated Verbosity times.
+func (l *Log) Histogram(sample uint64) {
+	m := l.M
+	m.Call(l.histFn, func() {
+		for v := 0; v < l.Verbosity; v++ {
+			m.At("sample")
+			s := m.Imm(sample + uint64(v))
+			// Bucket = log2-ish: shift until small, counting.
+			b := m.OpImm(isa.OpShr, s, 3)
+			b = m.OpImm(isa.OpAnd, b, 63)
+			off := m.OpImm(isa.OpMul, b, 8)
+			addr := m.OpImm(isa.OpAdd, off, uint64(l.buckets))
+			c := m.LoadVia(addr, 8)
+			c2 := m.AddImm(c, 1)
+			m.StoreVia(addr, 8, c2)
+		}
+	})
+}
+
+// TraceEvent appends a trace-event record to the ring buffer (never read).
+func (l *Log) TraceEvent(nameHash uint64) {
+	m := l.M
+	m.Call(l.traceFn, func() {
+		for v := 0; v < l.Verbosity; v++ {
+			m.At("event")
+			cur := m.LoadU32(l.cursorAddr)
+			off := m.OpImm(isa.OpAnd, cur, 4095-15)
+			addr := m.OpImm(isa.OpAdd, off, uint64(l.ring))
+			m.StoreVia(addr, 8, m.Imm(nameHash))
+			m.StoreU32(l.cursorAddr, m.AddImm(cur, 16))
+		}
+	})
+}

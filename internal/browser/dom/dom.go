@@ -1,0 +1,279 @@
+// Package dom stores the Document Object Model in traced memory. Every node
+// is a fixed-size record in the machine heap; tree mutations, attribute
+// hashes, and text contents all move through traced instructions, so the
+// provenance chain network bytes → parser → DOM → style → pixels is visible
+// to the slicer. Go-side mirror structs exist purely for orchestration and
+// tests — no engine value flows through them.
+package dom
+
+import (
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// NodeSize is the byte size of a node record.
+const NodeSize = 64
+
+// Field offsets within a node record.
+const (
+	OffTag        = 0  // u16 tag id
+	OffType       = 2  // u8 NodeType
+	OffFlags      = 3  // u8 flags
+	OffParent     = 4  // u32 node addr
+	OffFirstChild = 8  // u32 node addr
+	OffNextSib    = 12 // u32 node addr
+	OffIDHash     = 16 // u32
+	OffClassHash  = 20 // u32
+	OffText       = 24 // u32 text addr (text nodes)
+	OffTextLen    = 28 // u32
+	OffStyle      = 32 // u32 computed-style addr
+	OffLayout     = 36 // u32 layout-box addr
+	OffHandler    = 40 // u32 click-handler function index + 1 (0 = none)
+	OffLayerID    = 44 // u32 compositor layer id + 1 (0 = in parent layer)
+	OffImage      = 48 // u32 decoded-image addr (img elements)
+	OffImageLen   = 52 // u32
+)
+
+// NodeType distinguishes element and text nodes.
+type NodeType uint8
+
+const (
+	// ElementNode is a tag element.
+	ElementNode NodeType = 1
+	// TextNode is a run of character data.
+	TextNode NodeType = 2
+)
+
+// Tag identifies an element's tag name compactly.
+type Tag uint16
+
+// Known tags (anything else hashes into the upper range).
+const (
+	TagHTML Tag = iota + 1
+	TagHead
+	TagBody
+	TagDiv
+	TagSpan
+	TagP
+	TagA
+	TagImg
+	TagInput
+	TagButton
+	TagUL
+	TagLI
+	TagH1
+	TagH2
+	TagNav
+	TagSection
+	TagHeader
+	TagFooter
+	TagScript
+	TagStyle
+	TagLink
+	TagTitle
+	TagCanvas
+)
+
+var tagNames = map[string]Tag{
+	"html": TagHTML, "head": TagHead, "body": TagBody, "div": TagDiv,
+	"span": TagSpan, "p": TagP, "a": TagA, "img": TagImg, "input": TagInput,
+	"button": TagButton, "ul": TagUL, "li": TagLI, "h1": TagH1, "h2": TagH2,
+	"nav": TagNav, "section": TagSection, "header": TagHeader,
+	"footer": TagFooter, "script": TagScript, "style": TagStyle,
+	"link": TagLink, "title": TagTitle, "canvas": TagCanvas,
+}
+
+// TagByName resolves a tag name; unknown names get a stable hashed id.
+func TagByName(name string) Tag {
+	if t, ok := tagNames[name]; ok {
+		return t
+	}
+	return Tag(0x100 + Hash(name)%0xFE00)
+}
+
+// Hash is the FNV-1a 32-bit hash used for ids, classes and property names
+// throughout the engine.
+func Hash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Node is the Go mirror of one DOM node.
+type Node struct {
+	Addr     vmem.Addr
+	Type     NodeType
+	Tag      Tag
+	TagName  string
+	ID       string
+	Class    string
+	Text     string
+	Parent   *Node
+	Children []*Node
+}
+
+// Tree is the document plus its node index.
+type Tree struct {
+	M      *vm.Machine
+	Doc    *Node
+	All    []*Node // creation order
+	byID   map[string]*Node
+	byAddr map[vmem.Addr]*Node
+
+	newFn, appendFn, textFn *vm.Fn
+	idTable                 vmem.Addr // (hash u32, addr u32) pairs for traced lookup
+	idCount                 int
+	idCap                   int
+}
+
+// NewTree creates an empty document owned by the machine.
+func NewTree(m *vm.Machine) *Tree {
+	t := &Tree{
+		M:        m,
+		byID:     make(map[string]*Node),
+		byAddr:   make(map[vmem.Addr]*Node),
+		newFn:    m.Func("blink::Document::createElement", ""),
+		appendFn: m.Func("blink::ContainerNode::appendChild", ""),
+		textFn:   m.Func("blink::CharacterData::setData", ""),
+		idCap:    512,
+	}
+	t.idTable = m.Heap.Alloc(t.idCap * 8)
+	t.Doc = t.createNode(ElementNode, TagHTML, "html", "", "")
+	return t
+}
+
+func (t *Tree) createNode(typ NodeType, tag Tag, tagName, id, class string) *Node {
+	m := t.M
+	n := &Node{Type: typ, Tag: tag, TagName: tagName, ID: id, Class: class}
+	n.Addr = m.Heap.Alloc(NodeSize)
+	m.Call(t.newFn, func() {
+		m.Store(n.Addr+OffTag, 2, m.Imm(uint64(tag)))
+		m.Store(n.Addr+OffType, 1, m.Imm(uint64(typ)))
+		if id != "" {
+			m.StoreU32(n.Addr+OffIDHash, m.Imm(uint64(Hash(id))))
+		}
+		if class != "" {
+			m.StoreU32(n.Addr+OffClassHash, m.Imm(uint64(Hash(class))))
+		}
+	})
+	t.All = append(t.All, n)
+	t.byAddr[n.Addr] = n
+	if id != "" {
+		t.byID[id] = n
+		t.registerID(Hash(id), n.Addr)
+	}
+	return n
+}
+
+func (t *Tree) registerID(h uint32, addr vmem.Addr) {
+	m := t.M
+	if t.idCount >= t.idCap {
+		return // index full; lookups fall back to misses
+	}
+	slot := t.idTable + vmem.Addr(t.idCount*8)
+	m.StoreU32(slot, m.Imm(uint64(h)))
+	m.StoreU32(slot+4, m.Imm(uint64(addr)))
+	t.idCount++
+}
+
+// NewElement creates an element node (traced) with optional id and class.
+func (t *Tree) NewElement(tagName, id, class string) *Node {
+	return t.createNode(ElementNode, TagByName(tagName), tagName, id, class)
+}
+
+// NewTextFrom creates a text node whose contents are traced-copied from the
+// source buffer (so DOM text provably descends from network bytes).
+func (t *Tree) NewTextFrom(src vmem.Range, text string) *Node {
+	m := t.M
+	n := t.createNode(TextNode, 0, "#text", "", "")
+	n.Text = text
+	if src.Size > 0 {
+		dst := m.Heap.Alloc(int(src.Size))
+		m.Call(t.textFn, func() {
+			m.Copy(dst, src.Addr, int(src.Size))
+			m.StoreU32(n.Addr+OffText, m.Imm(uint64(dst)))
+			m.StoreU32(n.Addr+OffTextLen, m.Imm(uint64(src.Size)))
+		})
+	}
+	return n
+}
+
+// SetTextRaw replaces a node's text with engine-generated bytes (used by the
+// JS textContent binding; the bytes come from a traced string value).
+func (t *Tree) SetTextRaw(n *Node, src vmem.Addr, length int, text string) {
+	m := t.M
+	n.Text = text
+	dst := m.Heap.Alloc(length + 1)
+	m.Call(t.textFn, func() {
+		if length > 0 {
+			m.Copy(dst, src, length)
+		}
+		m.StoreU32(n.Addr+OffText, m.Imm(uint64(dst)))
+		m.StoreU32(n.Addr+OffTextLen, m.Imm(uint64(length)))
+	})
+}
+
+// Append links child under parent (traced pointer stores).
+func (t *Tree) Append(parent, child *Node) {
+	m := t.M
+	m.Call(t.appendFn, func() {
+		m.StoreU32(child.Addr+OffParent, m.Imm(uint64(parent.Addr)))
+		if len(parent.Children) == 0 {
+			m.StoreU32(parent.Addr+OffFirstChild, m.Imm(uint64(child.Addr)))
+		} else {
+			last := parent.Children[len(parent.Children)-1]
+			m.StoreU32(last.Addr+OffNextSib, m.Imm(uint64(child.Addr)))
+		}
+	})
+	child.Parent = parent
+	parent.Children = append(parent.Children, child)
+}
+
+// ByID returns the Go mirror for a DOM id (nil if absent) without tracing.
+func (t *Tree) ByID(id string) *Node { return t.byID[id] }
+
+// ByAddr returns the node whose record lives at addr (nil if none).
+func (t *Tree) ByAddr(a vmem.Addr) *Node { return t.byAddr[a] }
+
+// LookupID performs the traced getElementById: a scan of the id index
+// comparing hashes, returning the node and leaving the traced compare chain
+// in the trace. The returned register holds the node address.
+func (t *Tree) LookupID(fn *vm.Fn, id string) (*Node, isa.Reg) {
+	m := t.M
+	target := t.byID[id]
+	h := Hash(id)
+	var out isa.Reg
+	m.Call(fn, func() {
+		want := m.Imm(uint64(h))
+		out = m.Imm(0)
+		for i := 0; i < t.idCount; i++ {
+			m.At("probe")
+			slot := t.idTable + vmem.Addr(i*8)
+			got := m.LoadU32(slot)
+			eq := m.Op(isa.OpCmpEQ, got, want)
+			if m.Branch(eq) {
+				m.At("hit")
+				out = m.LoadU32(slot + 4)
+				break
+			}
+		}
+	})
+	return target, out
+}
+
+// Elements returns all element nodes in document order.
+func (t *Tree) Elements() []*Node {
+	var out []*Node
+	for _, n := range t.All {
+		if n.Type == ElementNode {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Count returns the total node count.
+func (t *Tree) Count() int { return len(t.All) }

@@ -1,0 +1,314 @@
+// Package html implements the HTML tokenizer and tree builder. Tokenization
+// walks the document bytes in traced loads, and every element creation is
+// guarded by traced branches on those bytes, so the slicer sees the true
+// chain: network bytes → tokens → DOM structure. Attribute hashes (id,
+// class) are computed with traced FNV over the source bytes, which is what
+// later style matching compares against.
+package html
+
+import (
+	"strings"
+
+	"webslice/internal/browser/dom"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// ScriptRef describes a script discovered during parsing.
+type ScriptRef struct {
+	URL    string     // external scripts
+	Inline string     // inline source text
+	Src    vmem.Range // source bytes (inline: inside the document buffer)
+	Node   *dom.Node
+}
+
+// StyleRef describes a stylesheet discovered during parsing.
+type StyleRef struct {
+	URL    string
+	Inline string
+	Src    vmem.Range
+}
+
+// ImageRef describes an image resource reference.
+type ImageRef struct {
+	URL  string
+	Node *dom.Node
+}
+
+// Result is the output of parsing one document.
+type Result struct {
+	Scripts []ScriptRef
+	Styles  []StyleRef
+	Images  []ImageRef
+	// Bytes is the document length.
+	Bytes int
+}
+
+// Parser builds DOM trees.
+type Parser struct {
+	M *vm.Machine
+
+	tokFn, treeFn, attrFn *vm.Fn
+}
+
+// NewParser wires a parser to the machine.
+func NewParser(m *vm.Machine) *Parser {
+	return &Parser{
+		M:      m,
+		tokFn:  m.Func("blink::HTMLTokenizer::NextToken", ""),
+		treeFn: m.Func("blink::HTMLTreeBuilder::ProcessToken", ""),
+		attrFn: m.Func("blink::Element::ParseAttribute", ""),
+	}
+}
+
+// scanSpan reads a token's bytes in chunked traced loads, folding them into
+// a rolling accumulator. Token classification branches take this accumulator
+// as an operand, so recognizing a token provably consumed its bytes — when a
+// token's output joins the slice, the tokenizer work that delimited it does
+// too, as on a real engine.
+func (p *Parser) scanSpan(src vmem.Addr, off, n int) isa.Reg {
+	m := p.M
+	m.At("scan")
+	acc := m.Imm(1)
+	for c := 0; c < n; c += 32 {
+		sz := n - c
+		if sz > 32 {
+			sz = 32
+		}
+		chunk := m.Load(src+vmem.Addr(off+c), sz)
+		acc = m.Op(isa.OpOr, acc, chunk)
+	}
+	return acc
+}
+
+// hashBytes computes FNV-1a over n source bytes with traced loads/ops,
+// returning the register holding the hash. Must stay consistent with
+// dom.Hash.
+func (p *Parser) hashBytes(src vmem.Addr, n int) isa.Reg {
+	m := p.M
+	h := m.Imm(2166136261)
+	m.At("fnv")
+	for i := 0; i < n; i++ {
+		b := m.Load(src+vmem.Addr(i), 1)
+		h = m.Op(isa.OpXor, h, b)
+		h = m.OpImm(isa.OpMul, h, 16777619)
+		h = m.OpImm(isa.OpAnd, h, 0xFFFFFFFF)
+	}
+	return h
+}
+
+// Parse tokenizes the document at src (whose text is doc) and builds the
+// tree under t. The caller guarantees doc matches the bytes stored at src.
+func (p *Parser) Parse(t *dom.Tree, src vmem.Range, doc string) *Result {
+	m := p.M
+	res := &Result{Bytes: len(doc)}
+	var parents []*dom.Node
+	parents = append(parents, t.Doc)
+	cur := func() *dom.Node { return parents[len(parents)-1] }
+
+	m.Call(p.treeFn, func() {
+		i := 0
+		for i < len(doc) {
+			m.At("token")
+			if doc[i] != '<' {
+				// Text run until the next tag.
+				j := strings.IndexByte(doc[i:], '<')
+				if j < 0 {
+					j = len(doc) - i
+				}
+				text := doc[i : i+j]
+				// Traced classification branch: first byte is not '<',
+				// and the token's bytes have been consumed by the scan.
+				acc := p.scanSpan(src.Addr, i, j)
+				b := m.Load(src.Addr+vmem.Addr(i), 1)
+				isTag := m.OpImm(isa.OpCmpEQ, b, uint64('<'))
+				nz := m.OpImm(isa.OpCmpNE, acc, 0)
+				isTag = m.Op(isa.OpAnd, isTag, nz)
+				if !m.Branch(isTag) {
+					m.At("text")
+					if tt := strings.TrimSpace(text); tt != "" {
+						n := t.NewTextFrom(vmem.Range{Addr: src.Addr + vmem.Addr(i), Size: uint32(j)}, text)
+						t.Append(cur(), n)
+					}
+				}
+				i += j
+				continue
+			}
+			// Tag.
+			end := strings.IndexByte(doc[i:], '>')
+			if end < 0 {
+				break
+			}
+			tag := doc[i+1 : i+end]
+			acc := p.scanSpan(src.Addr, i, end+1)
+			b := m.Load(src.Addr+vmem.Addr(i), 1)
+			isTag := m.OpImm(isa.OpCmpEQ, b, uint64('<'))
+			nz := m.OpImm(isa.OpCmpNE, acc, 0)
+			isTag = m.Op(isa.OpAnd, isTag, nz)
+			if m.Branch(isTag) {
+				m.At("tag")
+				p.processTag(t, src, doc, i, tag, &parents, res)
+			}
+			i += end + 1
+			// Raw-text elements: script and style swallow until the close
+			// tag without tokenizing markup.
+			low := strings.ToLower(tagName(tag))
+			if (low == "script" || low == "style") && !strings.HasSuffix(tag, "/") && !strings.HasPrefix(tag, "/") {
+				closer := "</" + low + ">"
+				j := strings.Index(doc[i:], closer)
+				if j < 0 {
+					j = len(doc) - i
+				}
+				body := doc[i : i+j]
+				rng := vmem.Range{Addr: src.Addr + vmem.Addr(i), Size: uint32(j)}
+				if low == "script" {
+					if len(res.Scripts) > 0 && res.Scripts[len(res.Scripts)-1].Inline == "\x00pending" {
+						res.Scripts[len(res.Scripts)-1].Inline = body
+						res.Scripts[len(res.Scripts)-1].Src = rng
+					}
+				} else {
+					res.Styles = append(res.Styles, StyleRef{Inline: body, Src: rng})
+				}
+				i += j + len(closer)
+				if i > len(doc) {
+					i = len(doc)
+				}
+				// Pop the raw element if it was pushed (inline bodies only).
+				if top := parents[len(parents)-1]; len(parents) > 1 && top.TagName == low {
+					parents = parents[:len(parents)-1]
+				}
+			}
+		}
+	})
+	return res
+}
+
+func tagName(tag string) string {
+	tag = strings.TrimPrefix(tag, "/")
+	if i := strings.IndexAny(tag, " \t\n/"); i >= 0 {
+		return tag[:i]
+	}
+	return tag
+}
+
+var voidTags = map[string]bool{"img": true, "input": true, "link": true, "br": true, "meta": true}
+
+func (p *Parser) processTag(t *dom.Tree, src vmem.Range, doc string, tagStart int, tag string, parents *[]*dom.Node, res *Result) {
+	m := p.M
+	if strings.HasPrefix(tag, "/") {
+		if len(*parents) > 1 {
+			*parents = (*parents)[:len(*parents)-1]
+		}
+		return
+	}
+	selfClose := strings.HasSuffix(tag, "/")
+	tag = strings.TrimSuffix(tag, "/")
+	name := tagName(tag)
+	low := strings.ToLower(name)
+	attrs := parseAttrs(tag[len(name):])
+
+	// Traced attribute hashing from the source bytes.
+	var idReg, classReg isa.Reg
+	if v, ok := attrs["id"]; ok && v != "" {
+		off := strings.Index(doc[tagStart:], v)
+		m.Call(p.attrFn, func() {
+			idReg = p.hashBytes(src.Addr+vmem.Addr(tagStart+off), len(v))
+		})
+	}
+	if v, ok := attrs["class"]; ok && v != "" {
+		off := strings.Index(doc[tagStart:], v)
+		m.Call(p.attrFn, func() {
+			classReg = p.hashBytes(src.Addr+vmem.Addr(tagStart+off), len(v))
+		})
+	}
+
+	cur := (*parents)[len(*parents)-1]
+	switch low {
+	case "script":
+		n := t.NewElement("script", attrs["id"], "")
+		t.Append(cur, n)
+		if u, ok := attrs["src"]; ok {
+			res.Scripts = append(res.Scripts, ScriptRef{URL: u, Node: n})
+		} else if !selfClose {
+			res.Scripts = append(res.Scripts, ScriptRef{Inline: "\x00pending", Node: n})
+			*parents = append(*parents, n)
+		}
+	case "style":
+		n := t.NewElement("style", "", "")
+		t.Append(cur, n)
+		if !selfClose {
+			*parents = append(*parents, n)
+		}
+	case "link":
+		if strings.Contains(attrs["rel"], "stylesheet") {
+			res.Styles = append(res.Styles, StyleRef{URL: attrs["href"]})
+		}
+	case "img":
+		n := p.newElement(t, low, attrs, idReg, classReg)
+		t.Append(cur, n)
+		res.Images = append(res.Images, ImageRef{URL: attrs["src"], Node: n})
+	default:
+		n := p.newElement(t, low, attrs, idReg, classReg)
+		t.Append(cur, n)
+		if !selfClose && !voidTags[low] {
+			*parents = append(*parents, n)
+		}
+	}
+}
+
+// newElement creates an element whose id/class hash fields are stored from
+// the traced hash registers when available.
+func (p *Parser) newElement(t *dom.Tree, tagName string, attrs map[string]string, idReg, classReg isa.Reg) *dom.Node {
+	m := p.M
+	n := t.NewElement(tagName, attrs["id"], attrs["class"])
+	if idReg != isa.RegNone {
+		m.StoreU32(n.Addr+dom.OffIDHash, idReg)
+	}
+	if classReg != isa.RegNone {
+		m.StoreU32(n.Addr+dom.OffClassHash, classReg)
+	}
+	return n
+}
+
+func parseAttrs(s string) map[string]string {
+	attrs := map[string]string{}
+	for {
+		s = strings.TrimLeft(s, " \t\n")
+		if s == "" {
+			return attrs
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			sp := strings.IndexAny(s, " \t\n")
+			if sp < 0 {
+				if k := strings.TrimSpace(s); k != "" {
+					attrs[k] = ""
+				}
+				return attrs
+			}
+			attrs[strings.TrimSpace(s[:sp])] = ""
+			s = s[sp+1:]
+			continue
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+1:]
+		if len(rest) > 0 && rest[0] == '"' {
+			end := strings.IndexByte(rest[1:], '"')
+			if end < 0 {
+				attrs[key] = rest[1:]
+				return attrs
+			}
+			attrs[key] = rest[1 : 1+end]
+			s = rest[end+2:]
+		} else {
+			sp := strings.IndexAny(rest, " \t\n")
+			if sp < 0 {
+				attrs[key] = rest
+				return attrs
+			}
+			attrs[key] = rest[:sp]
+			s = rest[sp+1:]
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package ipc simulates the renderer's message channel to the browser main
+// process. Each Chromium tab is a separate process; it continuously reports
+// state (navigation progress, favicon, history, metrics) over IPC. None of
+// that traffic affects the tab's own pixels, so the paper's pixel-based
+// slicing flags it as potentially unnecessary (its Figure 5 IPC category),
+// while noting that the messages might matter to the *other* process — the
+// same caveat applies here.
+package ipc
+
+import (
+	"webslice/internal/browser/ns"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// Channel is the renderer side of the browser-process pipe.
+type Channel struct {
+	M *vm.Machine
+
+	writeFn, serializeFn *vm.Fn
+	// MessagesSent counts messages for reporting.
+	MessagesSent int
+}
+
+// NewChannel wires an IPC channel to the machine.
+func NewChannel(m *vm.Machine) *Channel {
+	return &Channel{
+		M:           m,
+		writeFn:     m.Func("IPC::ChannelMojo::Write", ns.IPC),
+		serializeFn: m.Func("IPC::Message::WriteData", ns.IPC),
+	}
+}
+
+// Send serializes a message of the given payload size and writes it to the
+// browser-process socket. The payload is synthesized from a traced counter
+// so the serialization loop has real dataflow.
+func (c *Channel) Send(kind string, payload int) {
+	m := c.M
+	if payload < 8 {
+		payload = 8
+	}
+	buf := m.IOb.Alloc(payload + 16)
+	m.Call(c.serializeFn, func() {
+		// Header: route id, type hash, length.
+		m.StoreU32(buf, m.Imm(uint64(len(kind))))
+		h := m.Imm(hash(kind))
+		m.StoreU32(buf+4, h)
+		m.StoreU32(buf+8, m.Imm(uint64(payload)))
+		// Body: synthesized payload words.
+		v := m.Imm(0x1234)
+		m.At("body")
+		for off := 16; off < payload+16; off += 8 {
+			v = m.OpImm(isa.OpAdd, v, 0x9E37)
+			m.StoreU64(buf+vmem.Addr(off), v)
+		}
+	})
+	m.Call(c.writeFn, func() {
+		m.Syscall(isa.SysSendmsg, isa.RegNone, isa.RegNone,
+			[]vmem.Range{{Addr: buf, Size: uint32(payload + 16)}}, nil, nil)
+	})
+	c.MessagesSent++
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h & 0xFFFFFFFF
+}

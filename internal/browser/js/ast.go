@@ -1,0 +1,589 @@
+// Package js implements the JavaScript engine of the simulated browser: a
+// lexer and parser, an eager bytecode compiler whose work is traced against
+// the script's source bytes (so compiling never-called functions is
+// measurable waste, the paper's headline finding), and a stack-machine
+// interpreter that executes entirely through traced instructions.
+//
+// The language is a deliberately small JavaScript subset: functions,
+// var/assignment, if/else, while, for, return, arithmetic/comparison/logic,
+// string and number literals, calls, and member access on DOM elements via
+// native bindings.
+package js
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ---- AST ----
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumLit is a numeric literal.
+type NumLit struct{ Value int64 }
+
+// StrLit is a string literal.
+type StrLit struct{ Value string }
+
+// BoolLit is true/false.
+type BoolLit struct{ Value bool }
+
+// Ident references a variable.
+type Ident struct{ Name string }
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Call invokes a function: Callee is an Ident (user or native function) or
+// a Member (native method).
+type Call struct {
+	Callee Expr
+	Args   []Expr
+}
+
+// Member is obj.Prop.
+type Member struct {
+	Obj  Expr
+	Prop string
+}
+
+// Assign assigns to an Ident or Member target.
+type Assign struct {
+	Target Expr
+	Value  Expr
+}
+
+func (*NumLit) expr()  {}
+func (*StrLit) expr()  {}
+func (*BoolLit) expr() {}
+func (*Ident) expr()   {}
+func (*Binary) expr()  {}
+func (*Unary) expr()   {}
+func (*Call) expr()    {}
+func (*Member) expr()  {}
+func (*Assign) expr()  {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarDecl declares and initializes a variable.
+type VarDecl struct {
+	Name string
+	Init Expr
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct{ X Expr }
+
+// If is a conditional.
+type If struct {
+	Cond       Expr
+	Then, Else []Stmt
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// For is a C-style loop.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+}
+
+// Return exits a function.
+type Return struct{ Value Expr }
+
+func (*VarDecl) stmt()  {}
+func (*ExprStmt) stmt() {}
+func (*If) stmt()       {}
+func (*While) stmt()    {}
+func (*For) stmt()      {}
+func (*Return) stmt()   {}
+
+// FuncDecl is a top-level function declaration.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	// SrcStart/SrcEnd delimit the declaration in the script source.
+	SrcStart, SrcEnd int
+}
+
+// Script is a parsed compilation unit: declarations plus top-level code.
+type Script struct {
+	Funcs    []*FuncDecl
+	TopLevel []Stmt
+	Source   string
+}
+
+// ---- Lexer ----
+
+type token struct {
+	kind string // "num", "str", "ident", "punct", "eof"
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+var punctuations = []string{
+	"===", "!==", "==", "!=", "<=", ">=", "&&", "||", "+", "-", "*", "/", "%",
+	"<", ">", "=", "(", ")", "{", "}", ";", ",", ".", "!",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("js: unterminated comment at %d", l.pos)
+			}
+			l.pos += end + 4
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{"num", l.src[start:l.pos], start})
+		case c == '\'' || c == '"':
+			q := c
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != q {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("js: unterminated string at %d", start)
+			}
+			l.toks = append(l.toks, token{"str", l.src[start+1 : l.pos], start})
+			l.pos++
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{"ident", l.src[start:l.pos], start})
+		default:
+			matched := false
+			for _, p := range punctuations {
+				if strings.HasPrefix(l.src[l.pos:], p) {
+					l.toks = append(l.toks, token{"punct", p, l.pos})
+					l.pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("js: unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{"eof", "", len(src)})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' || r == '$' }
+func isIdentPart(r rune) bool  { return isIdentStart(r) || unicode.IsDigit(r) }
+
+// ---- Parser ----
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+// ParseScript parses a compilation unit.
+func ParseScript(src string) (*Script, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	s := &Script{Source: src}
+	for !p.at("eof", "") {
+		if p.at("ident", "function") {
+			fd, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Funcs = append(s.Funcs, fd)
+			continue
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s.TopLevel = append(s.TopLevel, st)
+	}
+	return s, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, fmt.Errorf("js: at %d expected %s %q, got %s %q", p.cur().pos, kind, text, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	start := p.cur().pos
+	p.next() // function
+	name, err := p.eat("ident", "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.eat("punct", "("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.at("punct", ")") {
+		id, err := p.eat("ident", "")
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id.text)
+		if p.at("punct", ",") {
+			p.next()
+		}
+	}
+	p.next() // )
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	end := p.toks[p.i-1].pos + 1
+	return &FuncDecl{Name: name.text, Params: params, Body: body, SrcStart: start, SrcEnd: end}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.eat("punct", "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.at("punct", "}") {
+		if p.at("eof", "") {
+			return nil, fmt.Errorf("js: unexpected EOF in block")
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	p.next()
+	return out, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.at("ident", "var") || p.at("ident", "let"):
+		p.next()
+		name, err := p.eat("ident", "")
+		if err != nil {
+			return nil, err
+		}
+		var init Expr = &NumLit{0}
+		if p.at("punct", "=") {
+			p.next()
+			init, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.semi()
+		return &VarDecl{Name: name.text, Init: init}, nil
+	case p.at("ident", "if"):
+		p.next()
+		if _, err := p.eat("punct", "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat("punct", ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.at("ident", "else") {
+			p.next()
+			els, err = p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els}, nil
+	case p.at("ident", "while"):
+		p.next()
+		if _, err := p.eat("punct", "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat("punct", ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case p.at("ident", "for"):
+		p.next()
+		if _, err := p.eat("punct", "("); err != nil {
+			return nil, err
+		}
+		init, err := p.statement() // consumes the first ';'
+		if err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat("punct", ";"); err != nil {
+			return nil, err
+		}
+		var post Stmt
+		if !p.at("punct", ")") {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			post = &ExprStmt{x}
+		}
+		if _, err := p.eat("punct", ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &For{Init: init, Cond: cond, Post: post, Body: body}, nil
+	case p.at("ident", "return"):
+		p.next()
+		var v Expr
+		if !p.at("punct", ";") && !p.at("punct", "}") {
+			var err error
+			v, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.semi()
+		return &Return{Value: v}, nil
+	default:
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		p.semi()
+		return &ExprStmt{x}, nil
+	}
+}
+
+func (p *parser) blockOrSingle() ([]Stmt, error) {
+	if p.at("punct", "{") {
+		return p.block()
+	}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{st}, nil
+}
+
+func (p *parser) semi() {
+	if p.at("punct", ";") {
+		p.next()
+	}
+}
+
+// expression parses assignment (right-assoc) over the binary levels.
+func (p *parser) expression() (Expr, error) {
+	lhs, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at("punct", "=") {
+		switch lhs.(type) {
+		case *Ident, *Member:
+		default:
+			return nil, fmt.Errorf("js: invalid assignment target at %d", p.cur().pos)
+		}
+		p.next()
+		rhs, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Target: lhs, Value: rhs}, nil
+	}
+	return lhs, nil
+}
+
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!=", "===", "!=="},
+	{"<", "<=", ">", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binLevels[level] {
+			if p.at("punct", op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		op := matched
+		if op == "===" {
+			op = "=="
+		}
+		if op == "!==" {
+			op = "!="
+		}
+		lhs = &Binary{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.at("punct", "!") || p.at("punct", "-") {
+		op := p.next().text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at("punct", "."):
+			p.next()
+			prop, err := p.eat("ident", "")
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Obj: x, Prop: prop.text}
+		case p.at("punct", "("):
+			p.next()
+			var args []Expr
+			for !p.at("punct", ")") {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.at("punct", ",") {
+					p.next()
+				}
+			}
+			p.next()
+			x = &Call{Callee: x, Args: args}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "num":
+		p.next()
+		n, _ := strconv.ParseInt(t.text, 10, 64)
+		return &NumLit{n}, nil
+	case t.kind == "str":
+		p.next()
+		return &StrLit{t.text}, nil
+	case t.kind == "ident" && (t.text == "true" || t.text == "false"):
+		p.next()
+		return &BoolLit{t.text == "true"}, nil
+	case t.kind == "ident":
+		p.next()
+		return &Ident{t.text}, nil
+	case t.kind == "punct" && t.text == "(":
+		p.next()
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat("punct", ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("js: unexpected token %q at %d", t.text, t.pos)
+	}
+}

@@ -1,0 +1,328 @@
+package js
+
+import (
+	"fmt"
+
+	"webslice/internal/isa"
+	"webslice/internal/vmem"
+)
+
+// frame is one interpreter activation: locals and operand stack live in the
+// executing thread's stack arena, every push/pop a traced store/load.
+type frame struct {
+	f          *Function
+	localsBase vmem.Addr
+	stackBase  vmem.Addr
+	sp         int // operand stack depth (Go mirror)
+}
+
+const maxStack = 64
+
+// CallByIndex runs function idx with tagged argument registers and returns
+// the result register (holding a tagged value). It is the entry point used
+// by the browser for top-level scripts, event handlers, and timers.
+func (e *Engine) CallByIndex(idx int, args []isa.Reg) (isa.Reg, error) {
+	if idx < 0 || idx >= len(e.Funcs) {
+		return isa.RegNone, fmt.Errorf("js: bad function index %d", idx)
+	}
+	return e.run(e.Funcs[idx], args, 0)
+}
+
+const maxDepth = 64
+
+// run executes one function activation.
+func (e *Engine) run(f *Function, args []isa.Reg, depth int) (isa.Reg, error) {
+	if depth > maxDepth {
+		return isa.RegNone, fmt.Errorf("js: call stack overflow in %s", f.Name)
+	}
+	m := e.M
+	f.Executed = true
+	var result isa.Reg = isa.RegNone
+	var runErr error
+
+	m.Call(f.Sym, func() {
+		th := m.Cur()
+		fr := &frame{
+			f:          f,
+			localsBase: th.Stack.Alloc(max(f.NumLocals, 1) * 8),
+			stackBase:  th.Stack.Alloc(maxStack * 8),
+		}
+		// Bind arguments to locals (traced stores).
+		m.At("bindargs")
+		undef := m.Imm(MakeValue(TagUndef, 0))
+		for i := 0; i < f.NumLocals; i++ {
+			if i < len(args) && args[i] != isa.RegNone {
+				m.StoreU64(fr.localsBase+vmem.Addr(i*8), args[i])
+			} else {
+				m.StoreU64(fr.localsBase+vmem.Addr(i*8), undef)
+			}
+		}
+
+		codeBase := m.Imm(uint64(f.Code))
+		constBase := m.Imm(uint64(f.Consts))
+		pcReg := m.Imm(0)
+		pc := 0
+
+		push := func(v isa.Reg) {
+			if fr.sp >= maxStack {
+				runErr = fmt.Errorf("js: operand stack overflow in %s", f.Name)
+				return
+			}
+			m.Store(fr.stackBase+vmem.Addr(fr.sp*8), 8, v)
+			fr.sp++
+		}
+		pop := func() isa.Reg {
+			if fr.sp == 0 {
+				runErr = fmt.Errorf("js: operand stack underflow in %s", f.Name)
+				return m.Imm(MakeValue(TagUndef, 0))
+			}
+			fr.sp--
+			return m.Load(fr.stackBase+vmem.Addr(fr.sp*8), 8)
+		}
+
+		steps := 0
+		for {
+			if runErr != nil {
+				return
+			}
+			steps++
+			e.Ops++
+			if steps > 1_000_000 {
+				runErr = fmt.Errorf("js: %s exceeded step budget (infinite loop?)", f.Name)
+				return
+			}
+			if pc < 0 || pc >= len(f.Words) {
+				return // fell off the end: implicit return undefined
+			}
+			// Fetch + decode (traced): the bytecode word read through the
+			// traced pc register.
+			m.At("fetch")
+			addr := m.Op(isa.OpAdd, codeBase, pcReg)
+			w := m.LoadVia(addr, 4)
+			op := m.OpImm(isa.OpAnd, w, 0xFF)
+			bField := m.OpImm(isa.OpShr, w, 16)
+			goW := f.Words[pc]
+			goOp := int(goW & 0xFF)
+			goA := int(goW >> 8 & 0xFF)
+			goB := int(goW >> 16)
+
+			// Dispatch: conditional branch on the opcode comparison; every
+			// handler is control-dependent on this branch.
+			m.At("dispatch")
+			hit := m.OpImm(isa.OpCmpEQ, op, uint64(goOp))
+			m.Branch(hit)
+
+			advance := true
+			switch goOp {
+			case opPushK:
+				m.At("pushk")
+				off := m.OpImm(isa.OpShl, bField, 3)
+				ca := m.Op(isa.OpAdd, constBase, off)
+				v := m.LoadVia(ca, 8)
+				push(v)
+			case opLoadL:
+				m.At("loadl")
+				v := m.Load(fr.localsBase+vmem.Addr(goB*8), 8)
+				push(v)
+			case opStoreL:
+				m.At("storel")
+				v := pop()
+				m.Store(fr.localsBase+vmem.Addr(goB*8), 8, v)
+			case opLoadG:
+				m.At("loadg")
+				v := m.Load(e.globalsAddr+vmem.Addr(goB*8), 8)
+				push(v)
+			case opStoreG:
+				m.At("storeg")
+				v := pop()
+				m.Store(e.globalsAddr+vmem.Addr(goB*8), 8, v)
+			case opAdd:
+				m.At("add")
+				b := pop()
+				a := pop()
+				if TagOf(m.Val(a)) == TagStr || TagOf(m.Val(b)) == TagStr {
+					push(e.concat(a, b))
+				} else {
+					push(m.Op(isa.OpAdd, a, b))
+				}
+			case opSub, opMul, opDiv, opMod, opLt, opLe, opGt, opGe, opEq, opNe:
+				m.At("binop")
+				b := pop()
+				a := pop()
+				push(m.Op(aluFor(goOp), a, b))
+			case opNot:
+				m.At("not")
+				v := pop()
+				masked := m.OpImm(isa.OpAnd, v, 0xFFFFFFFFFFFF)
+				push(m.OpImm(isa.OpCmpEQ, masked, 0))
+			case opNeg:
+				m.At("neg")
+				v := pop()
+				push(m.Op(isa.OpSub, m.Imm(0), v))
+			case opJmp:
+				m.At("jmp")
+				pcReg = m.OpImm(isa.OpShl, bField, 2)
+				pc = goB
+				advance = false
+			case opJz:
+				m.At("jz")
+				v := pop()
+				masked := m.OpImm(isa.OpAnd, v, 0xFFFFFFFFFFFF)
+				isZero := m.OpImm(isa.OpCmpEQ, masked, 0)
+				if m.Branch(isZero) {
+					m.At("jztaken")
+					pcReg = m.OpImm(isa.OpShl, bField, 2)
+					pc = goB
+					advance = false
+				}
+			case opCall:
+				m.At("call")
+				argc := goA
+				callArgs := make([]isa.Reg, argc)
+				for i := argc - 1; i >= 0; i-- {
+					callArgs[i] = pop()
+				}
+				callee := goB
+				if callee < 0 || callee >= len(e.Funcs) {
+					runErr = fmt.Errorf("js: bad callee %d in %s", callee, f.Name)
+					return
+				}
+				r, err := e.run(e.Funcs[callee], callArgs, depth+1)
+				if err != nil {
+					runErr = err
+					return
+				}
+				if r == isa.RegNone {
+					r = m.Imm(MakeValue(TagUndef, 0))
+				}
+				push(r)
+			case opNCall:
+				m.At("ncall")
+				argc := goA
+				callArgs := make([]isa.Reg, argc)
+				for i := argc - 1; i >= 0; i-- {
+					callArgs[i] = pop()
+				}
+				if goB < 0 || goB >= len(e.natives) {
+					runErr = fmt.Errorf("js: bad native %d in %s", goB, f.Name)
+					return
+				}
+				r := e.natives[goB](callArgs)
+				if r == isa.RegNone {
+					r = m.Imm(MakeValue(TagUndef, 0))
+				}
+				push(r)
+			case opRet:
+				m.At("ret")
+				if goA == 1 {
+					result = pop()
+				}
+				return
+			case opPop:
+				m.At("pop")
+				pop()
+			case opGetProp:
+				m.At("getprop")
+				obj := pop()
+				prop := f.constStr[goB]
+				var r isa.Reg = isa.RegNone
+				if e.Props != nil {
+					r = e.Props(obj, prop, isa.RegNone, false)
+				}
+				if r == isa.RegNone {
+					r = m.Imm(MakeValue(TagUndef, 0))
+				}
+				push(r)
+			case opSetProp:
+				m.At("setprop")
+				obj := pop()
+				val := pop()
+				prop := f.constStr[goB]
+				if e.Props != nil {
+					e.Props(obj, prop, val, true)
+				}
+				push(val)
+			default:
+				runErr = fmt.Errorf("js: bad opcode %d at %s:%d", goOp, f.Name, pc)
+				return
+			}
+			if advance {
+				m.At("advance")
+				pcReg = m.OpImm(isa.OpAdd, pcReg, 4)
+				pc++
+			}
+		}
+	})
+	return result, runErr
+}
+
+func aluFor(op int) isa.AluOp {
+	switch op {
+	case opSub:
+		return isa.OpSub
+	case opMul:
+		return isa.OpMul
+	case opDiv:
+		return isa.OpDiv
+	case opMod:
+		return isa.OpMod
+	case opLt:
+		return isa.OpCmpLT
+	case opLe:
+		return isa.OpCmpLE
+	case opGt:
+		return isa.OpCmpGT
+	case opGe:
+		return isa.OpCmpGE
+	case opEq:
+		return isa.OpCmpEQ
+	case opNe:
+		return isa.OpCmpNE
+	default:
+		return isa.OpAdd
+	}
+}
+
+// concat builds a new string from two values (traced copies of both bodies),
+// returning a TagStr register.
+func (e *Engine) concat(a, b isa.Reg) isa.Reg {
+	m := e.M
+	as := e.valueString(a)
+	bs := e.valueString(b)
+	out := as + bs
+	addr := e.InternString(out)
+	// Traced cost of the copy: touch both source strings.
+	if sa, ok := e.strings[as]; ok && len(as) > 0 {
+		m.At("concat-a")
+		m.Load(sa+4, min(len(as), 8))
+	}
+	if sb, ok := e.strings[bs]; ok && len(bs) > 0 {
+		m.At("concat-b")
+		m.Load(sb+4, min(len(bs), 8))
+	}
+	r := m.Imm(MakeValue(TagStr, uint64(addr)))
+	return r
+}
+
+// valueString renders a tagged value for string conversion.
+func (e *Engine) valueString(r isa.Reg) string {
+	v := e.M.Val(r)
+	switch TagOf(v) {
+	case TagStr:
+		if s, ok := e.strByAddr[vmem.Addr(PayloadOf(v))]; ok {
+			return s
+		}
+		return ""
+	case TagInt:
+		return fmt.Sprintf("%d", int64(PayloadOf(v)<<16)>>16)
+	case TagBool:
+		if PayloadOf(v) != 0 {
+			return "true"
+		}
+		return "false"
+	case TagUndef:
+		return "undefined"
+	default:
+		return fmt.Sprintf("[obj %x]", PayloadOf(v))
+	}
+}

@@ -1,0 +1,225 @@
+// Package layout computes the position and size of every rendered element —
+// the layout stage of the pipeline in the paper's Figure 1. It implements a
+// simplified block/inline model: blocks stack vertically and fill the
+// containing width; inline text flows into lines using a fixed advance per
+// glyph at the computed font size. All geometry moves through traced loads
+// of computed styles and traced stores into layout boxes, so layout work
+// joins the slice exactly when its boxes influence pixels.
+package layout
+
+import (
+	"webslice/internal/browser/css"
+	"webslice/internal/browser/dom"
+	"webslice/internal/browser/ns"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// BoxSize is the byte size of a layout-box record.
+const BoxSize = 32
+
+// Box field offsets (all u32 px).
+const (
+	OffX = 0
+	OffY = 4
+	OffW = 8
+	OffH = 12
+	// OffLines is the computed text line count (text containers).
+	OffLines = 16
+)
+
+// Box is the Go mirror of a layout box.
+type Box struct {
+	Node *dom.Node
+	Addr vmem.Addr
+	// X, Y, W, H mirror the traced values for orchestration and tests.
+	X, Y, W, H int
+}
+
+// Engine performs layout.
+type Engine struct {
+	M *vm.Machine
+	R *css.Resolver
+
+	layoutFn, textFn *vm.Fn
+
+	// Boxes maps element -> box, rebuilt per layout pass.
+	Boxes map[*dom.Node]*Box
+	// DocHeight is the document's total laid-out height.
+	DocHeight int
+}
+
+// NewEngine wires a layout engine to the style resolver.
+func NewEngine(m *vm.Machine, r *css.Resolver) *Engine {
+	return &Engine{
+		M:        m,
+		R:        r,
+		layoutFn: m.Func("blink::LayoutBlockFlow::UpdateBlockLayout", ns.Layout),
+		textFn:   m.Func("blink::ShapeResult::CreateForText", ns.Layout),
+		Boxes:    make(map[*dom.Node]*Box),
+	}
+}
+
+// Layout lays out the whole document for the given viewport width. It walks
+// the DOM in document order, skipping display:none subtrees via traced
+// branches on the computed style.
+func (e *Engine) Layout(t *dom.Tree, viewportW int) {
+	e.Boxes = make(map[*dom.Node]*Box)
+	m := e.M
+	m.Call(e.layoutFn, func() {
+		h := e.layoutBlock(t.Doc, 0, 0, viewportW)
+		e.DocHeight = h
+	})
+}
+
+// layoutBlock lays out node at (x, y) with the given available width and
+// returns the node's height. Traced values flow: style loads -> arithmetic
+// -> box stores.
+func (e *Engine) layoutBlock(n *dom.Node, x, y, availW int) int {
+	m := e.M
+	style := e.R.StyleOf(n)
+	if n.Type == dom.ElementNode && style != 0 {
+		m.At("disp")
+		disp := m.Load(style+css.OffDisplay, 1)
+		visible := m.OpImm(isa.OpCmpNE, disp, css.DisplayNone)
+		if !m.Branch(visible) {
+			m.At("skipped")
+			return 0
+		}
+	}
+
+	box := &Box{Node: n, Addr: m.Heap.Alloc(BoxSize)}
+	e.Boxes[n] = box
+
+	// Width: css width if set, else fill the available width minus margins.
+	m.At("geom")
+	var wReg isa.Reg
+	margin := 0
+	padding := 0
+	if style != 0 {
+		mw := m.LoadU32(style + css.OffWidth)
+		mg := m.Load(style+css.OffMargin, 2)
+		pd := m.Load(style+css.OffPadding, 2)
+		avail := m.Imm(uint64(availW))
+		two := m.Imm(2)
+		mg2 := m.Op(isa.OpMul, mg, two)
+		fill := m.Op(isa.OpSub, avail, mg2)
+		// w = width != 0 ? width : fill
+		useCSS := m.OpImm(isa.OpCmpNE, mw, 0)
+		if m.Branch(useCSS) {
+			m.At("cssw")
+			wReg = mw
+		} else {
+			m.At("fillw")
+			wReg = fill
+		}
+		margin = int(m.Val(mg))
+		padding = int(m.Val(pd))
+	} else {
+		wReg = m.Imm(uint64(availW))
+	}
+	w := int(m.Val(wReg))
+	if w > availW {
+		w = availW
+	}
+
+	x += margin
+	y += margin
+	box.X, box.Y, box.W = x, y, w
+	xr := m.Imm(uint64(x))
+	yr := m.Imm(uint64(y))
+	m.StoreU32(box.Addr+OffX, xr)
+	m.StoreU32(box.Addr+OffY, yr)
+	m.StoreU32(box.Addr+OffW, wReg)
+
+	// Height: css height, else content height (children + text lines).
+	contentY := y + padding
+	contentH := 0
+	for _, c := range n.Children {
+		if c.Type == dom.TextNode {
+			contentH += e.layoutText(c, x+padding, contentY+contentH, w-2*padding, style)
+		} else {
+			ch := e.layoutBlock(c, x+padding, contentY+contentH, w-2*padding)
+			contentH += ch
+		}
+	}
+	h := contentH + 2*padding
+	if n.Tag == dom.TagImg && h == 0 {
+		h = 32 // intrinsic fallback before the image (or its CSS size) arrives
+	}
+	if style != 0 {
+		m.At("height")
+		hCSS := m.LoadU32(style + css.OffHeight)
+		useCSS := m.OpImm(isa.OpCmpNE, hCSS, 0)
+		if m.Branch(useCSS) {
+			m.At("cssh")
+			h = int(m.Val(hCSS))
+			m.StoreU32(box.Addr+OffH, hCSS)
+		} else {
+			m.At("contenth")
+			hr := m.Imm(uint64(h))
+			m.StoreU32(box.Addr+OffH, hr)
+		}
+		// Positioned elements use top/left offsets (traced) and do not
+		// contribute to normal flow height.
+		pos := m.Load(style+css.OffPosition, 1)
+		out := m.OpImm(isa.OpCmpGE, pos, 2)
+		if m.Branch(out) {
+			m.At("positioned")
+			top := m.LoadU32(style + css.OffTop)
+			left := m.LoadU32(style + css.OffLeft)
+			m.StoreU32(box.Addr+OffY, top)
+			m.StoreU32(box.Addr+OffX, left)
+			box.X, box.Y = int(m.Val(left)), int(m.Val(top))
+			box.H = h
+			return 0
+		}
+	} else {
+		m.StoreU32(box.Addr+OffH, m.Imm(uint64(h)))
+	}
+	box.H = h
+	return h + margin*2
+}
+
+// layoutText shapes a text node: lines = ceil(len*advance / width) at the
+// parent's font size; height = lines * lineHeight.
+func (e *Engine) layoutText(n *dom.Node, x, y, w int, parentStyle vmem.Addr) int {
+	m := e.M
+	if w <= 0 {
+		w = 16
+	}
+	var h int
+	m.Call(e.textFn, func() {
+		m.At("shape")
+		tl := m.LoadU32(n.Addr + dom.OffTextLen)
+		var fs isa.Reg
+		if parentStyle != 0 {
+			fs = m.Load(parentStyle+css.OffFontSize, 2)
+		} else {
+			fs = m.Imm(16)
+		}
+		// advance ~= fontSize/2 per glyph; lines = (len*advance)/w + 1
+		adv := m.OpImm(isa.OpShr, fs, 1)
+		total := m.Op(isa.OpMul, tl, adv)
+		wr := m.Imm(uint64(w))
+		lines := m.Op(isa.OpDiv, total, wr)
+		lines = m.AddImm(lines, 1)
+		lineH := m.Op(isa.OpAdd, fs, m.OpImm(isa.OpShr, fs, 2))
+		hr := m.Op(isa.OpMul, lines, lineH)
+
+		box := &Box{Node: n, Addr: m.Heap.Alloc(BoxSize)}
+		e.Boxes[n] = box
+		m.StoreU32(box.Addr+OffX, m.Imm(uint64(x)))
+		m.StoreU32(box.Addr+OffY, m.Imm(uint64(y)))
+		m.StoreU32(box.Addr+OffW, wr)
+		m.StoreU32(box.Addr+OffH, hr)
+		m.StoreU32(box.Addr+OffLines, lines)
+		box.X, box.Y, box.W, box.H = x, y, w, int(m.Val(hr))
+		h = box.H
+	})
+	return h
+}
+
+// BoxOf returns the layout box of a node (nil if not laid out).
+func (e *Engine) BoxOf(n *dom.Node) *Box { return e.Boxes[n] }

@@ -1,0 +1,106 @@
+package net
+
+import (
+	"testing"
+
+	"webslice/internal/browser/sched"
+	"webslice/internal/content"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+func setup(t *testing.T) (*vm.Machine, *sched.Scheduler, *Loader, *content.Site) {
+	t.Helper()
+	m := vm.New()
+	m.Thread(0, "main")
+	m.Thread(2, "io")
+	m.Switch(0)
+	site := &content.Site{Name: "t", URL: "https://t/"}
+	site.Add(&content.Resource{URL: "https://t/r.bin", Type: content.JS,
+		Body:      []byte("the quick brown fox jumps over the lazy dog, repeatedly and at length"),
+		LatencyMs: 25})
+	s := sched.New(m)
+	return m, s, NewLoader(m, s, site, 2), site
+}
+
+func TestFetchDeliversBody(t *testing.T) {
+	m, s, l, site := setup(t)
+	var got vmem.Range
+	l.Fetch("https://t/r.bin", func(rng vmem.Range) { got = rng })
+	s.Run()
+	want := site.Resources["https://t/r.bin"].Body
+	if int(got.Size) != len(want) {
+		t.Fatalf("size = %d, want %d", got.Size, len(want))
+	}
+	if string(m.Mem.ReadBytes(got.Addr, len(want))) != string(want) {
+		t.Error("delivered body corrupted by receive/decompress path")
+	}
+	if l.BytesFetched != len(want) {
+		t.Errorf("BytesFetched = %d", l.BytesFetched)
+	}
+}
+
+func TestFetchSyscallAnatomy(t *testing.T) {
+	m, s, l, _ := setup(t)
+	l.Fetch("https://t/r.bin", func(vmem.Range) {})
+	s.Run()
+	var sends, recvs int
+	for i, eff := range m.Tr.Sys {
+		switch eff.Num {
+		case isa.SysSendto:
+			sends++
+			if len(eff.Reads) == 0 {
+				t.Errorf("sendto at %d reads nothing", i)
+			}
+		case isa.SysRecvfrom:
+			recvs++
+			if len(eff.Writes) == 0 {
+				t.Errorf("recvfrom at %d writes nothing", i)
+			}
+		}
+	}
+	if sends == 0 || recvs == 0 {
+		t.Errorf("sends=%d recvs=%d", sends, recvs)
+	}
+	// IO work must be on the IO thread.
+	for i := range m.Tr.Recs {
+		if m.Tr.Namespace(m.Tr.Recs[i].Func()) == "net" &&
+			m.Tr.FuncName(m.Tr.Recs[i].Func()) == "net::HttpStreamParser::ReadResponseBody" &&
+			m.Tr.Recs[i].TID != 2 {
+			t.Fatalf("socket read on thread %d", m.Tr.Recs[i].TID)
+		}
+	}
+}
+
+func TestFetchMissingURL(t *testing.T) {
+	_, s, l, _ := setup(t)
+	called := false
+	l.Fetch("https://t/404", func(rng vmem.Range) {
+		called = true
+		if rng.Size != 0 {
+			t.Error("missing resource should deliver an empty range")
+		}
+	})
+	s.Run()
+	if !called {
+		t.Error("completion callback must fire even for a 404")
+	}
+}
+
+func TestChunkedReceive(t *testing.T) {
+	m, s, l, site := setup(t)
+	l.ChunkBytes = 16
+	l.Fetch("https://t/r.bin", func(vmem.Range) {})
+	s.Run()
+	recvs := 0
+	for _, eff := range m.Tr.Sys {
+		if eff.Num == isa.SysRecvfrom {
+			recvs++
+		}
+	}
+	wantChunks := (len(site.Resources["https://t/r.bin"].Body) + 15) / 16
+	if recvs != wantChunks {
+		t.Errorf("recvfrom count = %d, want %d 16-byte chunks", recvs, wantChunks)
+	}
+}

@@ -1,0 +1,35 @@
+// Package ns centralizes the function namespaces of the simulated browser.
+// The profiler's categorization of potentially unnecessary computations
+// (paper Figure 5) groups non-slice instructions by these namespaces, the
+// way the paper grouped Chromium symbols.
+package ns
+
+const (
+	// V8 is the JavaScript engine (paper category: JavaScript).
+	V8 = "v8"
+	// Debug is built-in debug bookkeeping (category: Debugging).
+	Debug = "base/debug"
+	// IPC is communication with the browser main process (category: IPC).
+	IPC = "ipc"
+	// Threading is thread communication and synchronization, the PThread
+	// analog (category: Multi-threading).
+	Threading = "base/threading"
+	// CC is the compositor (category: Compositing).
+	CC = "cc"
+	// Skia is painting and rasterization (category: Graphics).
+	Skia = "skia"
+	// CSS is style resolution (category: CSS).
+	CSS = "blink/css"
+	// Layout is box layout (category: CSS — the paper folds style and
+	// layout calculation into its CSS category).
+	Layout = "blink/layout"
+	// Loop is event scheduling: the message loop and task queues (the bulk
+	// of the paper's Other category).
+	Loop = "base/message_loop"
+	// Net is the network stack (falls into Other).
+	Net = "net"
+	// None marks functions without a meaningful namespace — HTML parsing
+	// helpers, string/hash utilities, allocators. Their instructions cannot
+	// be categorized, mirroring the 26–47% the paper could not attribute.
+	None = ""
+)

@@ -1,0 +1,226 @@
+// Package paint generates per-layer display lists — the paint stage of the
+// pipeline in the paper's Figure 1 (namespace skia, the paper's Graphics
+// category). Each display item is a traced record derived from layout boxes
+// and computed styles; rasterizer threads later consume these records, so
+// paint work is in the slice exactly when its items reach visible pixels.
+package paint
+
+import (
+	"webslice/internal/browser/css"
+	"webslice/internal/browser/dom"
+	"webslice/internal/browser/layout"
+	"webslice/internal/browser/ns"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// ItemSize is the display-item record size.
+const ItemSize = 32
+
+// Item kinds.
+const (
+	KindRect   = 1
+	KindText   = 2
+	KindImage  = 3
+	KindBorder = 4
+)
+
+// Item field offsets.
+const (
+	OffKind  = 0  // u8
+	OffX     = 4  // u32
+	OffY     = 8  // u32
+	OffW     = 12 // u32
+	OffH     = 16 // u32
+	OffColor = 20 // u32
+	OffAux   = 24 // u32 (text/image data addr)
+	OffAux2  = 28 // u32 (data length)
+)
+
+// Item is the Go mirror of a display item.
+type Item struct {
+	Addr       vmem.Addr
+	Kind       uint8
+	X, Y, W, H int
+}
+
+// Layer is one compositing layer's display list plus geometry.
+type Layer struct {
+	ID     int
+	Z      int
+	X, Y   int
+	W, H   int
+	Opaque bool
+	Fixed  bool // fixed-position layers do not scroll
+	Items  []*Item
+	// Meta is the traced layer-metadata record written by the compositor
+	// (origin, transform); rasterizers read it through traced loads.
+	Meta vmem.Addr
+	// Node is the owning element (nil for the root document layer).
+	Node *dom.Node
+}
+
+// Painter builds display lists.
+type Painter struct {
+	M *vm.Machine
+	R *css.Resolver
+	L *layout.Engine
+
+	paintFn, recFn *vm.Fn
+
+	// Layers is the output, in paint order (root first).
+	Layers []*Layer
+}
+
+// NewPainter wires a painter to the style and layout engines.
+func NewPainter(m *vm.Machine, r *css.Resolver, l *layout.Engine) *Painter {
+	return &Painter{
+		M:       m,
+		R:       r,
+		L:       l,
+		paintFn: m.Func("skia::PaintController::Paint", ns.Skia),
+		recFn:   m.Func("skia::PaintOpBuffer::Record", ns.Skia),
+	}
+}
+
+// Paint walks the DOM and produces the layer list. Elements whose computed
+// style promoted them (HasLayer) start their own layer; everything else
+// paints into the nearest ancestor layer.
+func (p *Painter) Paint(t *dom.Tree, viewportW int) []*Layer {
+	m := p.M
+	p.Layers = nil
+	root := &Layer{ID: 0, Z: 0, W: viewportW, H: p.L.DocHeight, Opaque: true}
+	p.Layers = append(p.Layers, root)
+	m.Call(p.paintFn, func() {
+		p.paintNode(t.Doc, root)
+	})
+	return p.Layers
+}
+
+func (p *Painter) paintNode(n *dom.Node, layer *Layer) {
+	m := p.M
+	style := p.R.StyleOf(n)
+	box := p.L.BoxOf(n)
+	if box == nil {
+		return // display:none or not laid out
+	}
+	cur := layer
+	if n.Type == dom.ElementNode && style != 0 {
+		m.At("layercheck")
+		hasLayer := m.Load(style+css.OffHasLayer, 1)
+		promoted := m.OpImm(isa.OpCmpNE, hasLayer, 0)
+		if m.Branch(promoted) {
+			m.At("promote")
+			z := m.Load(style+css.OffZIndex, 2)
+			pos := m.Load(style+css.OffPosition, 1)
+			cur = &Layer{
+				ID:    len(p.Layers),
+				Z:     int(m.Val(z)) - 100,
+				X:     box.X,
+				Y:     box.Y,
+				W:     maxInt(box.W, 1),
+				H:     maxInt(box.H, 1),
+				Fixed: m.Val(pos) == 3,
+				Node:  n,
+			}
+			p.Layers = append(p.Layers, cur)
+		}
+	}
+	if n.Type == dom.ElementNode && style != 0 {
+		p.paintElement(n, style, box, cur)
+	}
+	for _, c := range n.Children {
+		p.paintNode(c, cur)
+	}
+}
+
+// paintElement emits the element's own display items: background, border,
+// image, and text runs for its text children.
+func (p *Painter) paintElement(n *dom.Node, style vmem.Addr, box *layout.Box, layer *Layer) {
+	m := p.M
+	m.Call(p.recFn, func() {
+		// Background rect when the background is not transparent.
+		m.At("bg")
+		bg := m.LoadU32(style + css.OffBg)
+		hasBG := m.OpImm(isa.OpCmpNE, bg, 0)
+		if m.Branch(hasBG) {
+			m.At("bgrect")
+			p.emitItem(layer, KindRect, box, bg, m.Imm(0), m.Imm(0))
+			if box.X <= layer.X && box.Y <= layer.Y && box.W >= layer.W && box.H >= layer.H {
+				alpha := m.Val(bg) >> 24
+				if alpha == 0xFF {
+					layer.Opaque = true
+				}
+			}
+		}
+		// Border.
+		m.At("border")
+		bw := m.Load(style+css.OffBorderW, 2)
+		hasB := m.OpImm(isa.OpCmpGT, bw, 0)
+		if m.Branch(hasB) {
+			m.At("borderrect")
+			col := m.LoadU32(style + css.OffColor)
+			p.emitItem(layer, KindBorder, box, col, m.Imm(0), m.Imm(0))
+		}
+		// Image content.
+		if n.Tag == dom.TagImg {
+			m.At("img")
+			img := m.LoadU32(n.Addr + dom.OffImage)
+			has := m.OpImm(isa.OpCmpNE, img, 0)
+			if m.Branch(has) {
+				m.At("imgitem")
+				ln := m.LoadU32(n.Addr + dom.OffImageLen)
+				p.emitItem(layer, KindImage, box, m.Imm(0xFF888888), img, ln)
+			}
+		}
+		// Text runs of direct text children.
+		for _, c := range n.Children {
+			if c.Type != dom.TextNode {
+				continue
+			}
+			tb := p.L.BoxOf(c)
+			if tb == nil {
+				continue
+			}
+			m.At("textrun")
+			ta := m.LoadU32(c.Addr + dom.OffText)
+			tl := m.LoadU32(c.Addr + dom.OffTextLen)
+			nonEmpty := m.OpImm(isa.OpCmpGT, tl, 0)
+			if m.Branch(nonEmpty) {
+				m.At("textitem")
+				col := m.LoadU32(style + css.OffColor)
+				p.emitItem(layer, KindText, tb, col, ta, tl)
+			}
+		}
+	})
+}
+
+// emitItem writes one display-item record with traced stores: geometry read
+// from the layout box, color/aux taken as registers so CSSOM and DOM
+// provenance carries into the item.
+func (p *Painter) emitItem(layer *Layer, kind uint8, box *layout.Box, color, aux, auxLen isa.Reg) {
+	m := p.M
+	it := &Item{Addr: m.Heap.Alloc(ItemSize), Kind: kind, X: box.X, Y: box.Y, W: box.W, H: box.H}
+	m.At("item")
+	m.Store(it.Addr+OffKind, 1, m.Imm(uint64(kind)))
+	x := m.LoadU32(box.Addr + layout.OffX)
+	y := m.LoadU32(box.Addr + layout.OffY)
+	w := m.LoadU32(box.Addr + layout.OffW)
+	h := m.LoadU32(box.Addr + layout.OffH)
+	m.StoreU32(it.Addr+OffX, x)
+	m.StoreU32(it.Addr+OffY, y)
+	m.StoreU32(it.Addr+OffW, w)
+	m.StoreU32(it.Addr+OffH, h)
+	m.StoreU32(it.Addr+OffColor, color)
+	m.StoreU32(it.Addr+OffAux, aux)
+	m.StoreU32(it.Addr+OffAux2, auxLen)
+	layer.Items = append(layer.Items, it)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+// Package raster implements the rasterizer worker threads
+// (CompositorTileWorker*): display items become pixels in tile backing
+// stores, one byte per pixel (indexed color). Pixel addresses are computed
+// with traced arithmetic from the compositor's tile metadata, so compositing
+// decisions that place content participate in the slice; pixel values derive
+// from display-item colors, text bytes, and decoded image data, completing
+// the provenance chain from the network to the screen.
+//
+// Every tile playback plants the pixel-criteria marker — the analog of the
+// paper's marker inside RasterBufferProvider::PlaybackToMemory plus the
+// external file of buffer addresses. Waste on the raster threads comes from
+// image decodes whose tiles are never rastered (beyond the prepaint region)
+// and from decode bookkeeping, not from the playbacks themselves.
+package raster
+
+import (
+	"webslice/internal/browser/compositor"
+	"webslice/internal/browser/ns"
+	"webslice/internal/browser/paint"
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// Rasterizer rasterizes tiles on whatever thread it is invoked on.
+type Rasterizer struct {
+	M *vm.Machine
+
+	playbackFn, fillFn, textFn, imageFn, decodeFn *vm.Fn
+
+	// Decoded caches image decodes by source address.
+	Decoded map[vmem.Addr]vmem.Range
+	// WastePasses scales post-decode color-management passes over the
+	// decoded pixels (output never consumed).
+	WastePasses int
+	// MarkedTiles counts pixel-criteria markers planted.
+	MarkedTiles int
+}
+
+// New wires a rasterizer to the machine.
+func New(m *vm.Machine) *Rasterizer {
+	return &Rasterizer{
+		M:          m,
+		playbackFn: m.Func("cc::RasterBufferProvider::PlaybackToMemory", ns.Skia),
+		fillFn:     m.Func("skia::SkCanvas::drawRect", ns.Skia),
+		textFn:     m.Func("skia::SkCanvas::drawTextBlob", ns.Skia),
+		imageFn:    m.Func("skia::SkCanvas::drawImageRect", ns.Skia),
+		decodeFn:   m.Func("skia::SkImageDecoder::Decode", ns.Skia),
+		Decoded:    make(map[vmem.Addr]vmem.Range),
+	}
+}
+
+// RasterTile renders every display item of the tile's layer that intersects
+// the tile, then marks the buffer as pixel criteria if the tile is visible.
+func (r *Rasterizer) RasterTile(t *compositor.Tile, done func()) {
+	m := r.M
+	m.Call(r.playbackFn, func() {
+		// Tile device origin from the compositor's metadata (traced loads:
+		// the compositor's tiling math feeds every pixel address).
+		ox := m.LoadU32(t.Meta)
+		oy := m.LoadU32(t.Meta + 4)
+		base := m.LoadU32(t.Meta + 8)
+		x0, y0 := t.Layer.X+t.Col*compositor.TileDim, t.Layer.Y+t.Row*compositor.TileDim
+		x1, y1 := x0+compositor.TileDim, y0+compositor.TileDim
+
+		// Clear the tile.
+		m.At("clear")
+		zero := m.Imm(0)
+		m.Fill(t.Buf.Addr, int(t.Buf.Size), zero)
+
+		var items []*paint.Item
+		for _, it := range t.Layer.Items {
+			// Go-side prefilter; the traced check below covers accepted
+			// items (real rasterizers also cull cheaply first).
+			if it.X >= x1 || it.Y >= y1 || it.X+it.W <= x0 || it.Y+it.H <= y0 {
+				continue
+			}
+			items = append(items, it)
+		}
+		m.Loop("items", len(items), func(idx int) {
+			it := items[idx]
+			m.At("clip")
+			ix := m.LoadU32(it.Addr + paint.OffX)
+			iy := m.LoadU32(it.Addr + paint.OffY)
+			iw := m.LoadU32(it.Addr + paint.OffW)
+			ih := m.LoadU32(it.Addr + paint.OffH)
+			cx := m.OpImm(isa.OpCmpLT, ix, uint64(x1))
+			cy := m.OpImm(isa.OpCmpLT, iy, uint64(y1))
+			ex := m.OpImm(isa.OpCmpGT, m.Op(isa.OpAdd, ix, iw), uint64(x0))
+			ey := m.OpImm(isa.OpCmpGT, m.Op(isa.OpAdd, iy, ih), uint64(y0))
+			hit := m.Op(isa.OpAnd, m.Op(isa.OpAnd, cx, cy), m.Op(isa.OpAnd, ex, ey))
+			if !m.Branch(hit) {
+				return
+			}
+			m.At("rasteritem")
+			// Intersection in tile-local coordinates: the Go mirrors drive
+			// loop bounds, while the traced origin registers carry the same
+			// values into every pixel address, so layout geometry provably
+			// flows into the written pixels.
+			lx0, ly0 := maxInt(it.X, x0)-x0, maxInt(it.Y, y0)-y0
+			lx1, ly1 := minInt(it.X+it.W, x1)-x0, minInt(it.Y+it.H, y1)-y0
+			dx := m.Op(isa.OpMax, m.Op(isa.OpSub, ix, ox), m.Imm(0))
+			dy := m.Op(isa.OpMax, m.Op(isa.OpSub, iy, oy), m.Imm(0))
+			span := m.OpImm(isa.OpMul, dy, compositor.TileDim)
+			origin := m.Op(isa.OpAdd, base, m.Op(isa.OpAdd, span, dx))
+			switch it.Kind {
+			case paint.KindRect, paint.KindBorder:
+				r.fillRect(t, origin, it, lx0, ly0, lx1, ly1)
+			case paint.KindText:
+				r.drawText(t, origin, it, lx0, ly0, lx1, ly1)
+			case paint.KindImage:
+				r.drawImage(t, origin, it, lx0, ly0, lx1, ly1)
+			}
+		})
+		// Every playback plants the criteria marker, as the paper's
+		// instrumented RasterBufferProvider::PlaybackToMemory does: the tile
+		// buffer holds final pixel values. Content beyond the prepaint
+		// region is never rastered at all — that is where below-fold waste
+		// comes from.
+		m.MarkPixels(t.Buf)
+		r.MarkedTiles++
+	})
+	done()
+}
+
+// fillRect paints a solid color: per-row addresses derive from the traced
+// item/tile geometry (origin), 64-pixel splat stores of the item color.
+func (r *Rasterizer) fillRect(t *compositor.Tile, origin isa.Reg, it *paint.Item, lx0, ly0, lx1, ly1 int) {
+	m := r.M
+	m.Call(r.fillFn, func() {
+		color := m.LoadU32(it.Addr + paint.OffColor)
+		rowOff := m.Mov(origin)
+		for y := ly0; y < ly1; y++ {
+			m.At("row")
+			addr := rowOff
+			for x := lx0; x < lx1; x += 64 {
+				n := minInt(64, lx1-x)
+				m.StoreVia(addr, n, color)
+				if x+64 < lx1 {
+					addr = m.OpImm(isa.OpAdd, addr, 64)
+				}
+			}
+			m.At("nextrow")
+			rowOff = m.OpImm(isa.OpAdd, rowOff, compositor.TileDim)
+		}
+	})
+}
+
+// drawText renders glyph rows whose pixel values derive from the text bytes
+// (traced loads from the DOM text buffer).
+func (r *Rasterizer) drawText(t *compositor.Tile, origin isa.Reg, it *paint.Item, lx0, ly0, lx1, ly1 int) {
+	m := r.M
+	m.Call(r.textFn, func() {
+		ta := m.LoadU32(it.Addr + paint.OffAux)
+		tl := m.LoadU32(it.Addr + paint.OffAux2)
+		textLen := int(m.Val(tl))
+		if textLen == 0 {
+			return
+		}
+		rowOff := m.Mov(origin)
+		// Each 16-pixel row band renders one line's glyphs: load a chunk of
+		// text, splat it across the band (glyph pattern ~ text bytes).
+		toff := 0
+		for y := ly0; y < ly1; y += 4 {
+			m.At("glyphrow")
+			src := m.OpImm(isa.OpAdd, ta, uint64(toff%maxInt(textLen, 1)))
+			chunk := m.LoadVia(src, minInt(8, textLen))
+			addr := rowOff
+			for x := lx0; x < lx1; x += 64 {
+				n := minInt(64, lx1-x)
+				m.StoreVia(addr, n, chunk)
+				if x+64 < lx1 {
+					addr = m.OpImm(isa.OpAdd, addr, 64)
+				}
+			}
+			rowOff = m.OpImm(isa.OpAdd, rowOff, 4*compositor.TileDim)
+			toff += 8
+		}
+	})
+	_ = t
+}
+
+// drawImage blits decoded image rows into the tile.
+func (r *Rasterizer) drawImage(t *compositor.Tile, origin isa.Reg, it *paint.Item, lx0, ly0, lx1, ly1 int) {
+	m := r.M
+	m.Call(r.imageFn, func() {
+		ia := m.LoadU32(it.Addr + paint.OffAux)
+		src := vmem.Addr(m.Val(ia))
+		dec, ok := r.Decoded[src]
+		if !ok {
+			return
+		}
+		rowOff := m.Mov(origin)
+		srcOff := m.Mov(ia)
+		for y := ly0; y < ly1; y++ {
+			m.At("imgrow")
+			addr := rowOff
+			for x := lx0; x < lx1; x += 64 {
+				n := minInt(64, lx1-x)
+				px := m.LoadVia(srcOff, n)
+				m.StoreVia(addr, n, px)
+				if x+64 < lx1 {
+					addr = m.OpImm(isa.OpAdd, addr, 64)
+					srcOff = m.OpImm(isa.OpAdd, srcOff, 64)
+				}
+			}
+			m.At("imgnextrow")
+			rowOff = m.OpImm(isa.OpAdd, rowOff, compositor.TileDim)
+			srcOff = m.OpImm(isa.OpMod, srcOff, uint64(dec.End()))
+			srcOff = m.Op(isa.OpMax, srcOff, m.Imm(uint64(dec.Addr)))
+		}
+	})
+	_ = t
+}
+
+// Decode decompresses an image: a traced scan of the compressed bytes whose
+// rolling accumulator seeds the decoded pixels, so decoded pixels descend
+// from network bytes. Returns the decoded buffer (w*h bytes).
+func (r *Rasterizer) Decode(src vmem.Range, w, h int) vmem.Range {
+	m := r.M
+	if dec, ok := r.Decoded[src.Addr]; ok {
+		return dec
+	}
+	out := vmem.Range{Addr: m.Heap.Alloc(w * h), Size: uint32(w * h)}
+	m.Call(r.decodeFn, func() {
+		m.At("entropy")
+		acc := m.Imm(0x5A)
+		for c := 0; c < int(src.Size); c += 32 {
+			n := minInt(32, int(src.Size)-c)
+			chunk := m.Load(src.Addr+vmem.Addr(c), n)
+			acc = m.Op(isa.OpXor, acc, chunk)
+			acc = m.OpImm(isa.OpMul, acc, 1099511628211)
+		}
+		m.At("emit")
+		for off := 0; off < w*h; off += 64 {
+			n := minInt(64, w*h-off)
+			m.Store(out.Addr+vmem.Addr(off), n, acc)
+		}
+		// Color-management pass: transforms into a scratch buffer that is
+		// never consumed (ICC conversion kept "just in case").
+		for p := 0; p < r.WastePasses; p++ {
+			scratch := m.Heap.Alloc(w * h)
+			m.At("icc")
+			for off := 0; off < w*h; off += 64 {
+				n := minInt(64, w*h-off)
+				px := m.Load(out.Addr+vmem.Addr(off), n)
+				gam := m.OpImm(isa.OpXor, px, 0x0101010101010101)
+				m.Store(scratch+vmem.Addr(off), n, gam)
+			}
+		}
+	})
+	r.Decoded[src.Addr] = out
+	r.Decoded[out.Addr] = out // draw-time lookups use the decoded address
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"testing"
+
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+)
+
+func newSched(t *testing.T) (*vm.Machine, *Scheduler) {
+	t.Helper()
+	m := vm.New()
+	m.Thread(0, "main")
+	m.Thread(1, "worker")
+	return m, New(m)
+}
+
+func TestFIFOWithinThread(t *testing.T) {
+	m, s := newSched(t)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Post(0, "task", func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Dispatched != 5 {
+		t.Errorf("dispatched = %d", s.Dispatched)
+	}
+	_ = m
+}
+
+func TestDelayedOrderingAndIdle(t *testing.T) {
+	m, s := newSched(t)
+	var order []string
+	s.PostDelayed(0, "late", 5000, func() { order = append(order, "late") })
+	s.Post(0, "now", func() { order = append(order, "now") })
+	start := m.Cycle()
+	s.Run()
+	if len(order) != 2 || order[0] != "now" || order[1] != "late" {
+		t.Fatalf("order = %v", order)
+	}
+	if m.Cycle()-start < 5000 {
+		t.Error("virtual clock did not advance past the delay")
+	}
+	if s.IdleCycles == 0 {
+		t.Error("waiting for the delayed task should register idle time")
+	}
+}
+
+func TestCrossThreadPostEmitsFutex(t *testing.T) {
+	m, s := newSched(t)
+	m.Switch(0)
+	s.Post(1, "cross", func() {})
+	futexes := 0
+	for i, eff := range m.Tr.Sys {
+		_ = i
+		if eff.Num == isa.SysFutex {
+			futexes++
+		}
+	}
+	if futexes == 0 {
+		t.Error("cross-thread post must wake the target with a futex")
+	}
+	s.Run()
+}
+
+func TestTasksSwitchThreads(t *testing.T) {
+	m, s := newSched(t)
+	var ran []uint8
+	s.Post(1, "w", func() { ran = append(ran, m.Cur().ID) })
+	s.Post(0, "m", func() { ran = append(ran, m.Cur().ID) })
+	s.Run()
+	seen := map[uint8]bool{}
+	for _, tid := range ran {
+		seen[tid] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("threads ran: %v", ran)
+	}
+}
+
+func TestTasksCanPostTasks(t *testing.T) {
+	_, s := newSched(t)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 4 {
+			s.Post(0, "again", recurse)
+		}
+	}
+	s.Post(0, "seed", recurse)
+	s.Run()
+	if depth != 4 {
+		t.Errorf("depth = %d", depth)
+	}
+	if s.Pending() != 0 {
+		t.Error("queue should drain")
+	}
+}
+
+func TestNamespaceOfTaskNames(t *testing.T) {
+	if ns := namespaceOf("cc!Draw"); ns != "cc" {
+		t.Errorf("namespaceOf = %q", ns)
+	}
+	if ns := namespaceOf("plain"); ns != "base/message_loop" {
+		t.Errorf("default namespace = %q", ns)
+	}
+}
+
+func TestOnDispatchHookRuns(t *testing.T) {
+	_, s := newSched(t)
+	hooks := 0
+	s.OnDispatch = func() { hooks++ }
+	s.Post(0, "a", func() {})
+	s.Post(0, "b", func() {})
+	s.Run()
+	if hooks != 2 {
+		t.Errorf("hooks = %d", hooks)
+	}
+}

@@ -1,0 +1,115 @@
+// Package cdg computes the control dependence graph of each traced function
+// using the Ferrante–Ottenstein–Warren construction over the CFG and its
+// postdominator tree: node n is control-dependent on branch b iff b has a
+// successor s such that n postdominates s, and n does not postdominate b.
+//
+// The result — a map from program counter to the branch PCs it depends on —
+// is the second half of the profiler's forward pass. As in the paper, it can
+// be stored to stable storage and re-used by backward passes with different
+// slicing criteria (see Save/Load).
+package cdg
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"webslice/internal/cfg"
+	"webslice/internal/postdom"
+)
+
+// Deps maps each static PC to the set of branch PCs it is directly
+// control-dependent on. PCs with no dependences are absent.
+type Deps struct {
+	ByPC map[uint32][]uint32
+}
+
+// Of returns the branch PCs that pc is control-dependent on (nil if none).
+func (d *Deps) Of(pc uint32) []uint32 { return d.ByPC[pc] }
+
+// Len returns how many PCs have at least one control dependence.
+func (d *Deps) Len() int { return len(d.ByPC) }
+
+// Compute builds control dependences for every function in the forest.
+func Compute(f *cfg.Forest) *Deps {
+	d := &Deps{ByPC: make(map[uint32][]uint32)}
+	for _, g := range f.Graphs {
+		computeGraph(g, postdom.Compute(g), d)
+	}
+	return d
+}
+
+// ComputeWithTrees is Compute with caller-supplied postdominator trees
+// (keyed by function), so the trees can be shared with other analyses.
+func ComputeWithTrees(f *cfg.Forest, trees map[uint32]*postdom.Tree) *Deps {
+	d := &Deps{ByPC: make(map[uint32][]uint32)}
+	for fn, g := range f.Graphs {
+		t := trees[uint32(fn)]
+		if t == nil {
+			t = postdom.Compute(g)
+		}
+		computeGraph(g, t, d)
+	}
+	return d
+}
+
+func computeGraph(g *cfg.Graph, t *postdom.Tree, d *Deps) {
+	n := g.NumNodes()
+	for b := int32(0); int(b) < n; b++ {
+		if !g.Conditional(b) || b == cfg.Entry {
+			continue
+		}
+		bpc := g.PCs[b]
+		ipdomB := t.IPDom[b]
+		for _, s := range g.Succs[b] {
+			// Walk s up the postdominator tree until ipdom(b): every node on
+			// the way is control-dependent on b.
+			for v := s; v != ipdomB && v != -1; v = t.IPDom[v] {
+				if v == cfg.Entry || v == cfg.Exit {
+					continue
+				}
+				pc := g.PCs[v]
+				if !hasDep(d.ByPC[pc], bpc) {
+					d.ByPC[pc] = append(d.ByPC[pc], bpc)
+				}
+			}
+		}
+	}
+	// Deterministic ordering for serialization and tests.
+	for pc := range d.ByPC {
+		deps := d.ByPC[pc]
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	}
+}
+
+func hasDep(deps []uint32, b uint32) bool {
+	for _, x := range deps {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Save writes the dependence map to stable storage.
+func (d *Deps) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(d.ByPC); err != nil {
+		return fmt.Errorf("cdg: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a dependence map written by Save.
+func Load(r io.Reader) (*Deps, error) {
+	d := &Deps{}
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&d.ByPC); err != nil {
+		return nil, fmt.Errorf("cdg: decode: %w", err)
+	}
+	if d.ByPC == nil {
+		d.ByPC = make(map[uint32][]uint32)
+	}
+	return d, nil
+}

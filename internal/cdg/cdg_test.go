@@ -1,0 +1,209 @@
+package cdg
+
+import (
+	"bytes"
+	"testing"
+
+	"webslice/internal/cfg"
+	"webslice/internal/trace"
+	"webslice/internal/vm"
+)
+
+// diamondTrace traces an if/else both ways and returns the trace plus the
+// PCs of interest: branch, then-arm, else-arm, join.
+func diamondTrace(t *testing.T) (tr *trace.Trace, branchPC, thenPC, elsePC, joinPC uint32) {
+	t.Helper()
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("diamond", "test")
+	var pcs [4]uint32
+	run := func(v uint64) {
+		m.Call(fn, func() {
+			m.At("head")
+			c := m.Const(v)
+			_ = c
+			before := len(m.Tr.Recs)
+			if m.Branch(c) {
+				pcs[0] = m.Tr.Recs[before].PC
+				m.At("then")
+				m.Const(1)
+				pcs[1] = m.Tr.Recs[len(m.Tr.Recs)-1].PC
+			} else {
+				pcs[0] = m.Tr.Recs[before].PC
+				m.At("else")
+				m.Const(2)
+				pcs[2] = m.Tr.Recs[len(m.Tr.Recs)-1].PC
+			}
+			m.At("join")
+			m.Const(3)
+			pcs[3] = m.Tr.Recs[len(m.Tr.Recs)-1].PC
+		})
+	}
+	run(1)
+	run(0)
+	return m.Tr, pcs[0], pcs[1], pcs[2], pcs[3]
+}
+
+func TestDiamondControlDependence(t *testing.T) {
+	tr, branchPC, thenPC, elsePC, joinPC := diamondTrace(t)
+	f, err := cfg.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(f)
+	if !depends(d, thenPC, branchPC) {
+		t.Errorf("then-arm %#x should be control-dependent on branch %#x; deps=%v", thenPC, branchPC, d.Of(thenPC))
+	}
+	if !depends(d, elsePC, branchPC) {
+		t.Errorf("else-arm %#x should be control-dependent on branch %#x", elsePC, branchPC)
+	}
+	if depends(d, joinPC, branchPC) {
+		t.Errorf("join %#x must not be control-dependent on branch (it postdominates it)", joinPC)
+	}
+	if len(d.Of(branchPC)) != 0 {
+		t.Errorf("branch itself should have no intra-function deps here, got %v", d.Of(branchPC))
+	}
+}
+
+func TestLoopBodyDependsOnLoopBranch(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("loop", "test")
+	var branchPC, bodyPC uint32
+	m.Call(fn, func() {
+		for i := 0; i < 3; i++ {
+			m.At("cond")
+			c := m.Const(uint64(b2u(i < 2)))
+			m.At("branch")
+			before := len(m.Tr.Recs)
+			taken := m.Branch(c)
+			branchPC = m.Tr.Recs[before].PC
+			if !taken {
+				break
+			}
+			m.At("body")
+			m.Const(5)
+			bodyPC = m.Tr.Recs[len(m.Tr.Recs)-1].PC
+		}
+		m.At("after")
+		m.Const(6)
+	})
+	f, err := cfg.Build(m.Tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(f)
+	if !depends(d, bodyPC, branchPC) {
+		t.Errorf("loop body should be control-dependent on loop branch; deps=%v", d.Of(bodyPC))
+	}
+}
+
+func TestNestedBranches(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("nested", "test")
+	var outerPC, innerPC, innerBodyPC uint32
+	run := func(a, b uint64) {
+		m.Call(fn, func() {
+			m.At("h")
+			ca := m.Const(a)
+			before := len(m.Tr.Recs)
+			if m.Branch(ca) {
+				outerPC = m.Tr.Recs[before].PC
+				m.At("outer-then")
+				cb := m.Const(b)
+				bi := len(m.Tr.Recs)
+				if m.Branch(cb) {
+					innerPC = m.Tr.Recs[bi].PC
+					m.At("inner-then")
+					m.Const(1)
+					innerBodyPC = m.Tr.Recs[len(m.Tr.Recs)-1].PC
+				}
+				m.At("outer-join")
+				m.Const(2)
+			}
+			m.At("join")
+			m.Const(3)
+		})
+	}
+	run(1, 1)
+	run(1, 0)
+	run(0, 0)
+	f, err := cfg.Build(m.Tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(f)
+	if !depends(d, innerBodyPC, innerPC) {
+		t.Error("inner body should depend on inner branch")
+	}
+	if !depends(d, innerPC, outerPC) {
+		t.Error("inner branch should depend on outer branch")
+	}
+	if depends(d, innerBodyPC, outerPC) {
+		t.Error("direct dependence should be on the nearest branch only (transitive via pending list)")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr, branchPC, thenPC, _, _ := diamondTrace(t)
+	f, err := cfg.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(f)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("Len %d != %d", d2.Len(), d.Len())
+	}
+	if !depends(d2, thenPC, branchPC) {
+		t.Error("loaded deps lost the diamond dependence")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestStraightLineHasNoDeps(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("straight", "test")
+	m.Call(fn, func() {
+		m.Const(1)
+		m.Const(2)
+	})
+	f, err := cfg.Build(m.Tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compute(f)
+	if d.Len() != 0 {
+		t.Errorf("straight-line code has %d control-dependent PCs, want 0", d.Len())
+	}
+}
+
+func depends(d *Deps, pc, on uint32) bool {
+	for _, b := range d.Of(pc) {
+		if b == on {
+			return true
+		}
+	}
+	return false
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,227 @@
+package cfg
+
+import (
+	"testing"
+
+	"webslice/internal/isa"
+	"webslice/internal/trace"
+	"webslice/internal/vm"
+)
+
+// buildDiamond runs a traced if/else both ways inside one function and
+// returns the trace: the CFG must contain a real diamond.
+func buildDiamond(t *testing.T) (*trace.Trace, trace.FuncID) {
+	t.Helper()
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("diamond", "test")
+	run := func(v uint64) {
+		m.Call(fn, func() {
+			m.At("head")
+			c := m.Const(v)
+			if m.Branch(c) {
+				m.At("then")
+				m.Const(1)
+			} else {
+				m.At("else")
+				m.Const(2)
+			}
+			m.At("join")
+			m.Const(3)
+		})
+	}
+	run(1)
+	run(0)
+	return m.Tr, fn.ID
+}
+
+func TestBuildDiamond(t *testing.T) {
+	tr, fn := buildDiamond(t)
+	f, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := f.Graphs[fn]
+	if g == nil {
+		t.Fatal("no graph for diamond function")
+	}
+	// Find the branch node: it must have exactly two successors.
+	var branches []int32
+	for n := int32(0); int(n) < g.NumNodes(); n++ {
+		if g.IsBranch[n] {
+			branches = append(branches, n)
+		}
+	}
+	if len(branches) != 1 {
+		t.Fatalf("expected 1 branch node, got %d", len(branches))
+	}
+	b := branches[0]
+	if len(g.Succs[b]) != 2 {
+		t.Fatalf("branch has %d successors, want 2", len(g.Succs[b]))
+	}
+	if !g.Conditional(b) {
+		t.Error("branch should be conditional")
+	}
+	// Both arms must reconverge: each successor's successor chains reach a
+	// common node (the join const). Weak check: total node count is the
+	// static site count, not doubled by the second execution.
+	nodes := g.NumNodes()
+	f2, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Graphs[fn].NumNodes() != nodes {
+		t.Error("rebuild changed node count")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("loop", "test")
+	m.Call(fn, func() {
+		for i := 0; i < 3; i++ {
+			m.At("head")
+			c := m.Const(uint64(1))
+			if i == 2 {
+				c = m.Const(0)
+			}
+			// Mixing sites: keep the branch at a stable label.
+			m.At("cond")
+			if !m.Branch(c) {
+				break
+			}
+			m.At("body")
+			m.Const(7)
+		}
+		m.At("done")
+	})
+	f, err := Build(m.Tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := f.Graphs[fn.ID]
+	// A back edge exists: some node has a successor with a smaller
+	// discovery index that is not entry.
+	hasBack := false
+	for u := int32(2); int(u) < g.NumNodes(); u++ {
+		for _, v := range g.Succs[u] {
+			if v > Entry+1 && v < u {
+				hasBack = true
+			}
+		}
+	}
+	if !hasBack {
+		t.Error("expected a back edge in the loop CFG")
+	}
+}
+
+func TestCallAttribution(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	outer := m.Func("outer", "test")
+	inner := m.Func("inner", "test")
+	m.Call(outer, func() {
+		m.Const(1)
+		m.Call(inner, func() { m.Const(2) })
+		m.Const(3)
+	})
+	f, err := Build(m.Tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Graphs[outer.ID] == nil || f.Graphs[inner.ID] == nil {
+		t.Fatal("missing graphs")
+	}
+	// Outer's graph has the call node inline: const, call, const all in one
+	// chain; inner has const + ret.
+	if n := f.Graphs[inner.ID].NumNodes(); n != 4 { // entry, exit, const, ret
+		t.Errorf("inner nodes = %d, want 4", n)
+	}
+}
+
+func TestTruncatedTraceTolerated(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	fn := m.Func("f", "test")
+	m.Call(fn, func() {
+		m.Const(1)
+		m.Const(2)
+	})
+	tr := m.Tr
+	// Drop the trailing Ret to simulate truncation.
+	tr.Recs = tr.Recs[:len(tr.Recs)-1]
+	f, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("truncated trace should still validate: %v", err)
+	}
+}
+
+func TestUnmatchedReturnTolerated(t *testing.T) {
+	tr := trace.New()
+	fn, _ := tr.AddFunc("mid", "")
+	tr.Recs = []trace.Rec{
+		{PC: trace.MakePC(fn, 1), Kind: isa.KindConst, Dst: 1, TID: 0},
+		{PC: trace.MakePC(fn, 2), Kind: isa.KindRet, TID: 0},
+		{PC: trace.MakePC(fn, 1), Kind: isa.KindConst, Dst: 2, TID: 0},
+	}
+	f, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMalformedTraceRejected(t *testing.T) {
+	tr := trace.New()
+	f1, _ := tr.AddFunc("a", "")
+	f2, _ := tr.AddFunc("b", "")
+	tr.Recs = []trace.Rec{
+		{PC: trace.MakePC(f1, 1), Kind: isa.KindConst, TID: 0},
+		{PC: trace.MakePC(f2, 1), Kind: isa.KindConst, TID: 0}, // no call in between
+	}
+	if _, err := Build(tr); err == nil {
+		t.Error("expected unbalanced-call error")
+	}
+}
+
+func TestPerThreadStacks(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "a")
+	m.Thread(1, "b")
+	fa := m.Func("fa", "test")
+	fb := m.Func("fb", "test")
+	// Interleave: start a call on thread 0, run thread 1, finish thread 0.
+	m.Switch(0)
+	m.Call(fa, func() {
+		m.Const(1)
+		m.Switch(1)
+		m.Call(fb, func() { m.Const(2) })
+		m.Switch(0)
+		m.Const(3)
+	})
+	f, err := Build(m.Tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Error(err)
+	}
+	if f.Graphs[fa.ID] == nil || f.Graphs[fb.ID] == nil {
+		t.Error("both threads' functions should have graphs")
+	}
+}

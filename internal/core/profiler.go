@@ -1,0 +1,108 @@
+// Package core is the profiler facade — the paper's primary contribution
+// (Figure 3). It ties the forward pass (control-flow graph reconstruction,
+// postdominators, control dependence graph) to the backward pass (liveness-
+// based dynamic backward slicing) and exposes the two slicing criteria the
+// paper evaluates: the pixels buffer and system calls.
+//
+// Typical use:
+//
+//	p := core.NewProfiler(tr)
+//	if err := p.Forward(); err != nil { ... }
+//	res, err := p.PixelSlice()
+//
+// The forward pass result can be saved to stable storage and re-used for
+// multiple backward passes with different criteria, as the paper notes.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"webslice/internal/cdg"
+	"webslice/internal/cfg"
+	"webslice/internal/slicer"
+	"webslice/internal/trace"
+)
+
+// Profiler couples a trace with its forward-pass products and runs slices.
+type Profiler struct {
+	T *trace.Trace
+
+	forest *cfg.Forest
+	deps   *cdg.Deps
+
+	// Opts are the default options applied to every slicing run.
+	Opts slicer.Options
+}
+
+// NewProfiler wraps a trace. Run Forward before slicing (Slice does it on
+// demand if you forget).
+func NewProfiler(t *trace.Trace) *Profiler {
+	return &Profiler{T: t, Opts: slicer.Options{ProgressPoints: 100}}
+}
+
+// Forward runs the forward pass: per-function CFGs from the dynamic trace,
+// postdominator trees, and the control dependence graph.
+func (p *Profiler) Forward() error {
+	if p.deps != nil {
+		return nil
+	}
+	f, err := cfg.Build(p.T)
+	if err != nil {
+		return fmt.Errorf("core: forward pass: %w", err)
+	}
+	p.forest = f
+	p.deps = cdg.Compute(f)
+	return nil
+}
+
+// Forest returns the CFGs built by the forward pass (nil before Forward).
+func (p *Profiler) Forest() *cfg.Forest { return p.forest }
+
+// Deps returns the control dependence graph (nil before Forward).
+func (p *Profiler) Deps() *cdg.Deps { return p.deps }
+
+// SaveForward writes the control dependence graph to stable storage so later
+// sessions can slice with different criteria without re-running the forward
+// pass.
+func (p *Profiler) SaveForward(w io.Writer) error {
+	if err := p.Forward(); err != nil {
+		return err
+	}
+	return p.deps.Save(w)
+}
+
+// LoadForward installs a previously saved control dependence graph.
+func (p *Profiler) LoadForward(r io.Reader) error {
+	d, err := cdg.Load(r)
+	if err != nil {
+		return err
+	}
+	p.deps = d
+	return nil
+}
+
+// Slice runs the backward pass with arbitrary criteria.
+func (p *Profiler) Slice(c slicer.Criteria) (*slicer.Result, error) {
+	return p.SliceOpts(c, p.Opts)
+}
+
+// SliceOpts runs the backward pass with explicit options.
+func (p *Profiler) SliceOpts(c slicer.Criteria, opts slicer.Options) (*slicer.Result, error) {
+	if !opts.NoControlDeps {
+		if err := p.Forward(); err != nil {
+			return nil, err
+		}
+	}
+	return slicer.Slice(p.T, p.deps, c, opts)
+}
+
+// PixelSlice runs the backward pass with the pixel-buffer criteria.
+func (p *Profiler) PixelSlice() (*slicer.Result, error) {
+	return p.Slice(slicer.PixelCriteria{})
+}
+
+// SyscallSlice runs the backward pass with the syscall criteria.
+func (p *Profiler) SyscallSlice() (*slicer.Result, error) {
+	return p.Slice(slicer.SyscallCriteria{})
+}

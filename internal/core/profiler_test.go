@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+func demoMachine() *vm.Machine {
+	m := vm.New()
+	m.Thread(0, "CrRendererMain")
+	tile := m.Tile.Alloc(64)
+	fn := m.Func("render", "blink")
+	m.Call(fn, func() {
+		v := m.Const(0xFFFFFF)
+		m.StoreU32(tile, v)
+	})
+	junk := m.Func("metrics", "base/debug")
+	m.Call(junk, func() {
+		m.Bookkeep(m.Heap.Alloc(8), 3)
+	})
+	m.MarkPixels(vmem.Range{Addr: tile, Size: 64})
+	m.Syscall(isa.SysIoctl, isa.RegNone, isa.RegNone, []vmem.Range{{Addr: tile, Size: 64}}, nil, nil)
+	return m
+}
+
+func TestProfilerEndToEnd(t *testing.T) {
+	m := demoMachine()
+	p := NewProfiler(m.Tr)
+	if err := p.Forward(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Forest() == nil || p.Deps() == nil {
+		t.Fatal("forward products missing")
+	}
+	pix, err := p.PixelSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := p.SyscallSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pix.SliceCount == 0 {
+		t.Fatal("pixel slice empty")
+	}
+	if sys.SliceCount < pix.SliceCount {
+		t.Errorf("syscall slice (%d) should include pixel slice (%d)", sys.SliceCount, pix.SliceCount)
+	}
+	if pix.Percent() >= 100 {
+		t.Error("bookkeeping should be excluded from the pixel slice")
+	}
+	// The debug function's records must be outside the pixel slice.
+	for i := range m.Tr.Recs {
+		if m.Tr.Namespace(m.Tr.Recs[i].Func()) == "base/debug" && pix.InSlice.Get(i) {
+			t.Errorf("debug record %d wrongly in pixel slice", i)
+		}
+	}
+}
+
+func TestSaveLoadForward(t *testing.T) {
+	m := demoMachine()
+	p := NewProfiler(m.Tr)
+	var buf bytes.Buffer
+	if err := p.SaveForward(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := p.PixelSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewProfiler(m.Tr)
+	if err := p2.LoadForward(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p2.PixelSlice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.SliceCount != res2.SliceCount {
+		t.Errorf("reloaded forward pass changed the slice: %d vs %d", res1.SliceCount, res2.SliceCount)
+	}
+}
+
+func TestSliceOnDemandForward(t *testing.T) {
+	m := demoMachine()
+	p := NewProfiler(m.Tr)
+	// No explicit Forward call: Slice must run it on demand.
+	if _, err := p.PixelSlice(); err != nil {
+		t.Fatal(err)
+	}
+}

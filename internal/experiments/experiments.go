@@ -1,0 +1,283 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table I (unused JS/CSS bytes), Table II (pixel-slice
+// percentages per thread), Figure 2 (main-thread CPU utilization while
+// browsing), Figure 4 (slicing percentage over the backward pass), Figure 5
+// (categorization of unnecessary computations), plus the §V-A Bing
+// partial-slice experiment and the pixel-vs-syscall criteria comparison.
+// cmd/webslice and the repository benchmarks both call these entry points.
+package experiments
+
+import (
+	"fmt"
+
+	"webslice/internal/analysis"
+	"webslice/internal/browser"
+	"webslice/internal/core"
+	"webslice/internal/report"
+	"webslice/internal/sites"
+	"webslice/internal/slicer"
+	"webslice/internal/trace"
+)
+
+// Run is one executed benchmark: the browser after its session, the trace,
+// and the pixel-based slice.
+type Run struct {
+	Bench   sites.Benchmark
+	Browser *browser.Browser
+	Trace   *trace.Trace
+	Pixel   *slicer.Result
+	Prof    *core.Profiler
+}
+
+// Execute runs a benchmark's session and computes its pixel slice.
+func Execute(b sites.Benchmark) (*Run, error) {
+	br := browser.New(b.Site, b.Profile)
+	br.RunSession()
+	if len(br.Errors) > 0 {
+		return nil, fmt.Errorf("experiments: %s: %v", b.Name, br.Errors[0])
+	}
+	p := core.NewProfiler(br.M.Tr)
+	p.Opts.ProgressPoints = 160
+	res, err := p.PixelSlice()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+	}
+	return &Run{Bench: b, Browser: br, Trace: br.M.Tr, Pixel: res, Prof: p}, nil
+}
+
+// ExecuteTableII runs the four Table II benchmarks.
+func ExecuteTableII(scale float64) ([]*Run, error) {
+	var out []*Run
+	for _, b := range sites.TableII(scale) {
+		r, err := Execute(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// threadRow describes one Table II thread row.
+type threadRow struct {
+	label  string
+	thread uint8
+	nth    int // for rasterizers: 1-based worker index, 0 otherwise
+}
+
+// TableII renders the paper's Table II from executed runs: pixel-slice
+// percentage and total instructions for all threads and for the main,
+// compositor, and rasterizer threads.
+func TableII(runs []*Run) *report.Table {
+	t := &report.Table{
+		Title:   "Table II: Slicing statistics of pixel-based approach (per thread)",
+		Headers: []string{"Threads"},
+	}
+	for _, r := range runs {
+		t.Headers = append(t.Headers, r.Bench.Name+" [pixels]", "[total]")
+	}
+	maxRaster := 0
+	for _, r := range runs {
+		if n := r.Bench.Profile.RasterWorkers; n > maxRaster {
+			maxRaster = n
+		}
+	}
+	rows := []threadRow{
+		{"All", 0, -1},
+		{"Main", browser.MainThread, 0},
+		{"Compositor", browser.CompositorThread, 0},
+	}
+	for i := 0; i < maxRaster; i++ {
+		rows = append(rows, threadRow{fmt.Sprintf("Rasterizer %d", i+1), browser.RasterThreadBase + uint8(i), i + 1})
+	}
+	for _, row := range rows {
+		cells := []string{row.label}
+		for _, r := range runs {
+			if row.nth == -1 {
+				cells = append(cells, report.Pct(r.Pixel.Percent()), report.MInstr(r.Pixel.Total))
+				continue
+			}
+			if row.nth > 0 && row.nth > r.Bench.Profile.RasterWorkers {
+				cells = append(cells, "-", "-")
+				continue
+			}
+			cells = append(cells,
+				report.Pct(r.Pixel.ThreadPercent(row.thread)),
+				report.MInstr(r.Pixel.ByThread[row.thread]))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// TableIRow is one website's Table I measurements.
+type TableIRow struct {
+	Name          string
+	Load          analysis.ByteUsage
+	LoadAndBrowse analysis.ByteUsage
+}
+
+// ExecuteTableI runs the Table I site set (load and load+browse sessions)
+// and measures unused JS/CSS bytes.
+func ExecuteTableI(scale float64) ([]TableIRow, error) {
+	var out []TableIRow
+	for _, pair := range sites.TableI(scale) {
+		loadB := browser.New(pair.Load.Site, pair.Load.Profile)
+		loadB.RunSession()
+		if len(loadB.Errors) > 0 {
+			return nil, fmt.Errorf("experiments: table1 %s load: %v", pair.Name, loadB.Errors[0])
+		}
+		browseB := browser.New(pair.LoadAndBrowse.Site, pair.LoadAndBrowse.Profile)
+		browseB.RunSession()
+		if len(browseB.Errors) > 0 {
+			return nil, fmt.Errorf("experiments: table1 %s browse: %v", pair.Name, browseB.Errors[0])
+		}
+		out = append(out, TableIRow{
+			Name:          pair.Name,
+			Load:          analysis.UnusedBytes(loadB),
+			LoadAndBrowse: analysis.UnusedBytes(browseB),
+		})
+	}
+	return out, nil
+}
+
+// TableI renders the unused-bytes table.
+func TableI(rows []TableIRow) *report.Table {
+	t := &report.Table{
+		Title:   "Table I: Unused JavaScript and CSS code bytes",
+		Headers: []string{"Website", "Session", "Unused bytes", "Total bytes", "Percentage"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name, "Only Load", report.KB(r.Load.UnusedBytes), report.KB(r.Load.TotalBytes), report.Pct(r.Load.Percent()))
+		t.AddRow("", "Load and Browse", report.KB(r.LoadAndBrowse.UnusedBytes), report.KB(r.LoadAndBrowse.TotalBytes), report.Pct(r.LoadAndBrowse.Percent()))
+	}
+	return t
+}
+
+// Figure2 runs the Amazon desktop load-and-browse session and charts the
+// main thread's CPU utilization over virtual time.
+func Figure2(scale float64) (*report.Chart, error) {
+	bench := sites.AmazonDesktop(sites.Options{Scale: scale, Browse: true})
+	br := browser.New(bench.Site, bench.Profile)
+	br.RunSession()
+	if len(br.Errors) > 0 {
+		return nil, fmt.Errorf("experiments: fig2: %v", br.Errors[0])
+	}
+	points := analysis.CPUTimeline(br.M.Tr, browser.MainThread, 100)
+	series := make([]float64, len(points))
+	for i, p := range points {
+		series[i] = p.UtilizationPct
+	}
+	endMs := uint64(0)
+	if len(points) > 0 {
+		endMs = points[len(points)-1].TimeMs
+	}
+	return &report.Chart{
+		Title:   "Figure 2: CPU utilization of the main thread while browsing amazon (load, scroll, photo roll, menu)",
+		Height:  12,
+		Width:   90,
+		SeriesA: series,
+		ALegend: fmt.Sprintf("main-thread utilization per 100ms window, 0..%d ms", endMs),
+	}, nil
+}
+
+// Figure4 renders the backward-pass slicing-percentage curves for one run:
+// all threads and main thread, x advancing from the end of the trace to its
+// beginning, as in the paper's subplots.
+func Figure4(r *Run) *report.Chart {
+	curve := analysis.BackwardCurve(r.Pixel)
+	all := make([]float64, len(curve))
+	main := make([]float64, len(curve))
+	for i, p := range curve {
+		all[i] = p.AllPct
+		main[i] = p.MainPct
+	}
+	var endX float64
+	if len(curve) > 0 {
+		endX = curve[len(curve)-1].XMInstr
+	}
+	return &report.Chart{
+		Title:   fmt.Sprintf("Figure 4: slicing %% over the backward pass — %s", r.Bench.Name),
+		Height:  12,
+		Width:   90,
+		SeriesA: all,
+		SeriesB: main,
+		ALegend: fmt.Sprintf("all threads (x: 0..%.1f M instructions from trace end)", endX),
+		BLegend: "main thread",
+	}
+}
+
+// Figure5 renders the categorization of potentially unnecessary
+// computations for the executed runs.
+func Figure5(runs []*Run) *report.Table {
+	t := &report.Table{
+		Title:   "Figure 5: categorization of potentially unnecessary computations (share of categorized non-slice instructions)",
+		Headers: append([]string{"Benchmark"}, append(append([]string{}, analysis.Categories...), "Categorized")...),
+	}
+	for _, r := range runs {
+		d := analysis.Categorize(r.Trace, r.Pixel)
+		cells := []string{r.Bench.Name}
+		for _, c := range analysis.Categories {
+			cells = append(cells, report.Pct1(100*d.Share[c]))
+		}
+		cells = append(cells, report.Pct(d.CoveragePct))
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// BingPartial reproduces the §V-A experiment: slice the Bing trace with
+// criteria restricted to the load phase (backward from the page-loaded
+// point), and compare against the full-session slice restricted to load-time
+// instructions. The paper measured 49.8% vs 50.6% — browsing makes only ~1%
+// more of the load-time work useful.
+type BingPartialResult struct {
+	LoadInstr        int
+	LoadOnlyPct      float64 // slicing from the loaded point backward
+	FullSessionPct   float64 // full-session slice, counted over load instructions
+	FullSessionTotal int
+}
+
+// ExecuteBingPartial runs the experiment on an executed Bing run.
+func ExecuteBingPartial(r *Run) (BingPartialResult, error) {
+	cut := r.Browser.LoadedIndex
+	res := BingPartialResult{LoadInstr: cut, FullSessionTotal: r.Pixel.Total}
+	partial, err := r.Prof.Slice(slicer.Window{Inner: slicer.PixelCriteria{}, Limit: cut})
+	if err != nil {
+		return res, err
+	}
+	res.LoadOnlyPct = partial.RangePercent(0, cut)
+	res.FullSessionPct = r.Pixel.RangePercent(0, cut)
+	return res, nil
+}
+
+// CriteriaComparison computes the pixel vs syscall slice sizes for a run
+// (§IV-C / §V: the two criteria yield almost the same slice, with the
+// syscall slice a strict superset).
+type CriteriaComparisonResult struct {
+	PixelPct, SyscallPct float64
+	PixelOnly            int // pixel-slice records missing from syscall slice (must be 0)
+	ExtraSyscall         int // syscall-slice records beyond the pixel slice
+}
+
+// ExecuteCriteriaComparison computes both slices for a run.
+func ExecuteCriteriaComparison(r *Run) (CriteriaComparisonResult, error) {
+	sys, err := r.Prof.SyscallSlice()
+	if err != nil {
+		return CriteriaComparisonResult{}, err
+	}
+	out := CriteriaComparisonResult{
+		PixelPct:   r.Pixel.Percent(),
+		SyscallPct: sys.Percent(),
+	}
+	for i := 0; i < r.Pixel.Total; i++ {
+		inP, inS := r.Pixel.InSlice.Get(i), sys.InSlice.Get(i)
+		if inP && !inS {
+			out.PixelOnly++
+		}
+		if inS && !inP {
+			out.ExtraSyscall++
+		}
+	}
+	return out, nil
+}

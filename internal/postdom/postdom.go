@@ -1,0 +1,147 @@
+// Package postdom computes postdominator trees for control-flow graphs: a
+// node n postdominates m iff every path from m to the exit node passes
+// through n. Postdominators are the standard ingredient for control
+// dependence (Ferrante–Ottenstein–Warren), which the paper's forward pass
+// derives "from basic compiler books and articles".
+//
+// The implementation is the Cooper–Harvey–Kennedy iterative dominator
+// algorithm run on the reverse CFG.
+package postdom
+
+import (
+	"fmt"
+
+	"webslice/internal/cfg"
+)
+
+// Tree holds the immediate-postdominator relation for one graph. IPDom[n] is
+// the immediate postdominator node index, with IPDom[exit] == -1.
+type Tree struct {
+	IPDom []int32
+}
+
+// Compute builds the postdominator tree of g. Every node of a well-formed
+// graph (cfg.Forest.Validate) reaches exit, so every node gets an immediate
+// postdominator except exit itself.
+func Compute(g *cfg.Graph) *Tree {
+	n := g.NumNodes()
+	// Reverse post-order of the *reverse* graph starting at Exit, i.e.
+	// predecessors become successors.
+	order := make([]int32, 0, n) // RPO sequence
+	rpoNum := make([]int32, n)   // node -> position in order, -1 if unreachable
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	visited := make([]bool, n)
+	// Iterative post-order DFS on reverse graph.
+	type dfsFrame struct {
+		node int32
+		next int
+	}
+	var post []int32
+	stack := []dfsFrame{{cfg.Exit, 0}}
+	visited[cfg.Exit] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		preds := g.Preds[top.node]
+		if top.next < len(preds) {
+			v := preds[top.next]
+			top.next++
+			if !visited[v] {
+				visited[v] = true
+				stack = append(stack, dfsFrame{v, 0})
+			}
+			continue
+		}
+		post = append(post, top.node)
+		stack = stack[:len(stack)-1]
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		rpoNum[post[i]] = int32(len(order))
+		order = append(order, post[i])
+	}
+
+	ipdom := make([]int32, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[cfg.Exit] = cfg.Exit // temporary self-link for the intersect step
+
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, u := range order {
+			if u == cfg.Exit {
+				continue
+			}
+			// "Predecessors" in the reverse graph are g.Succs[u].
+			var newIdom int32 = -1
+			for _, v := range g.Succs[u] {
+				if ipdom[v] == -1 && v != cfg.Exit {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = v
+				} else {
+					newIdom = intersect(newIdom, v)
+				}
+			}
+			if newIdom != -1 && ipdom[u] != newIdom {
+				ipdom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	ipdom[cfg.Exit] = -1
+	return &Tree{IPDom: ipdom}
+}
+
+// PostDominates reports whether a postdominates b (including a == b).
+func (t *Tree) PostDominates(a, b int32) bool {
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = t.IPDom[b]
+	}
+	return false
+}
+
+// Validate checks tree sanity against its graph: exit has no postdominator,
+// every other node's ipdom is a valid node, and the definition holds on a
+// sample: each node's immediate postdominator postdominates all its
+// successors.
+func (t *Tree) Validate(g *cfg.Graph) error {
+	if len(t.IPDom) != g.NumNodes() {
+		return fmt.Errorf("postdom: size mismatch %d vs %d nodes", len(t.IPDom), g.NumNodes())
+	}
+	if t.IPDom[cfg.Exit] != -1 {
+		return fmt.Errorf("postdom: exit has ipdom %d", t.IPDom[cfg.Exit])
+	}
+	for u := range t.IPDom {
+		if u == cfg.Exit {
+			continue
+		}
+		ip := t.IPDom[u]
+		if ip < 0 || int(ip) >= g.NumNodes() {
+			return fmt.Errorf("postdom: node %d has invalid ipdom %d", u, ip)
+		}
+		for _, v := range g.Succs[u] {
+			if !t.PostDominates(ip, v) {
+				return fmt.Errorf("postdom: ipdom(%d)=%d does not postdominate successor %d", u, ip, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long-name", "22")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "beta-long-name") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(45.4) != "45%" {
+		t.Errorf("Pct = %q", Pct(45.4))
+	}
+	if Pct1(45.46) != "45.5%" {
+		t.Errorf("Pct1 = %q", Pct1(45.46))
+	}
+	if MInstr(6_217_000_000/1000) != "6.22 M" && MInstr(6_217_000) != "6.22 M" {
+		t.Errorf("MInstr = %q", MInstr(6_217_000))
+	}
+	if MInstr(150_000_000) != "150 M" {
+		t.Errorf("MInstr big = %q", MInstr(150_000_000))
+	}
+	if KB(955*1024) != "955.0 KB" {
+		t.Errorf("KB = %q", KB(955*1024))
+	}
+	if KB(1<<20+600*1024) != "1.6 MB" {
+		t.Errorf("MB = %q", KB(1<<20+600*1024))
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:   "Utilization",
+		Height:  8,
+		Width:   40,
+		SeriesA: []float64{0, 25, 50, 75, 100, 75, 50, 25, 0},
+		SeriesB: []float64{100, 50, 0},
+		ALegend: "all",
+		BLegend: "main",
+	}
+	out := c.String()
+	if !strings.Contains(out, "Utilization") || !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("chart incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "0%") {
+		t.Errorf("chart missing axis labels:\n%s", out)
+	}
+}
+
+func TestChartClampsOutOfRange(t *testing.T) {
+	c := &Chart{SeriesA: []float64{-10, 150}}
+	out := c.String()
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestEmptyChartAndTable(t *testing.T) {
+	if (&Chart{}).String() == "" {
+		t.Error("empty chart should still render a frame")
+	}
+	tab := &Table{Headers: []string{"a"}}
+	if tab.String() == "" {
+		t.Error("empty table should render headers")
+	}
+}

@@ -1,0 +1,224 @@
+package sites
+
+import (
+	"fmt"
+	"strings"
+
+	"webslice/internal/content"
+)
+
+// pageSpec drives the shared page builder.
+type pageSpec struct {
+	name, host string
+	vw, vh     int
+
+	sections, itemsPerSection int
+	sectionMinHeight          int
+	images                    int
+	imageKB                   int
+	imgW, imgH                int
+	imgLatencyMs              int
+
+	promoLayer bool // an absolutely-positioned layer fully occluded by the header
+	newsPane   bool // bottom news pane with a roll button (Bing)
+	searchBox  bool
+	canvasPane bool // Maps: large tile-pane instead of item sections
+
+	libs       []libSpec
+	cssUnused  int
+	cssDecls   int
+	heartbeats int // JS analytics timer firings
+	hbPeriodMs int
+	usedIters  int
+}
+
+type libSpec struct {
+	name                    string
+	used, browse, dead      int
+	bytesPerFn, iters, late int // late = fetch latency ms
+}
+
+// build assembles the HTML, resources, and wiring script for a spec.
+func build(spec pageSpec, o Options) *content.Site {
+	site := &content.Site{
+		Name:      spec.name,
+		URL:       fmt.Sprintf("https://%s/", spec.host),
+		ViewportW: spec.vw,
+		ViewportH: spec.vh,
+	}
+	var head, body strings.Builder
+	classes := []string{"page", "topbar", "menu-btn", "mpanel", "hero", "sec", "item", "thumb", "cap", "foot"}
+
+	// Stylesheet.
+	cssURL := site.URL + "styles.css"
+	var css strings.Builder
+	css.WriteString(".page { background: #ffffff; margin: 0; }\n")
+	css.WriteString(fmt.Sprintf(".topbar { position: fixed; top: 0px; left: 0px; height: 56px; width: %dpx; background: #131921; z-index: 10; color: white; padding: 8px; }\n", spec.vw))
+	css.WriteString(".menu-btn { width: 64px; height: 32px; background: #febd69; }\n")
+	css.WriteString(fmt.Sprintf(".mpanel { position: absolute; top: 56px; left: 0px; width: 300px; height: %dpx; background: #f3f3f3; z-index: 20; display: none; }\n", spec.vh-100))
+	css.WriteString(fmt.Sprintf(".hero { height: %dpx; background: #e3e6e6; padding: 10px; }\n", spec.vh/3))
+	css.WriteString(fmt.Sprintf(".sec { padding: 12px; margin: 8px; background: #fafafa; height: %dpx; }\n", spec.sectionMinHeight))
+	css.WriteString(".item { width: 180px; height: 220px; background: #ffffff; margin: 6px; padding: 4px; border-width: 1px; }\n")
+	css.WriteString(".thumb { width: 160px; height: 140px; }\n")
+	css.WriteString(".cap { font-size: 13px; color: #0f1111; }\n")
+	css.WriteString(".foot { height: 800px; background: #232f3e; color: white; padding: 20px; }\n")
+	if spec.promoLayer {
+		css.WriteString(fmt.Sprintf(".promo { position: absolute; top: 0px; left: 0px; height: 56px; width: %dpx; background: #cc0c39; z-index: 2; }\n", spec.vw))
+	}
+	if spec.newsPane {
+		css.WriteString(fmt.Sprintf(".newsbox { position: absolute; top: %dpx; left: 40px; width: %dpx; height: 150px; background: #eef3f8; z-index: 5; }\n", spec.vh-170, spec.vw-300))
+		css.WriteString(".news-item { width: 220px; height: 130px; background: #ffffff; margin: 4px; }\n")
+	}
+	if spec.searchBox {
+		css.WriteString(fmt.Sprintf(".searchbox { width: %dpx; height: 36px; background: #ffffff; border-width: 2px; margin: 10px; }\n", spec.vw/2))
+	}
+	if spec.canvasPane {
+		css.WriteString(fmt.Sprintf(".maptile { width: 256px; height: 256px; margin: 0px; padding: 0px; }\n"))
+		css.WriteString(fmt.Sprintf(".mappane { width: %dpx; height: %dpx; background: #aadaff; padding: 0px; margin: 0px; }\n", spec.vw, spec.vh*2))
+		css.WriteString(".zoombar { position: fixed; top: 80px; left: 20px; width: 40px; height: 90px; background: #ffffff; z-index: 15; }\n")
+		classes = append(classes, "maptile", "mappane", "zoombar")
+	}
+	// Used generated rules: per-section id rules plus class variants that all
+	// match (the cascade applies them in order), sized so the used/unused
+	// byte split lands near Table I.
+	var usedSel []string
+	for sIdx := 0; sIdx < spec.sections; sIdx++ {
+		usedSel = append(usedSel, fmt.Sprintf("#sec%d", sIdx))
+	}
+	for v := 0; v < 3; v++ {
+		usedSel = append(usedSel, ".item", ".cap", ".thumb", ".sec")
+	}
+	css.WriteString(genCSS(usedSel, spec.cssDecls, o.scaleInt(spec.cssUnused), "sx"))
+	site.Add(&content.Resource{URL: cssURL, Type: content.CSS, Body: []byte(css.String()), LatencyMs: 70})
+	head.WriteString(fmt.Sprintf("<link rel=\"stylesheet\" href=\"%s\">\n", cssURL))
+
+	// Libraries.
+	var domTargets []string
+	for sIdx := 0; sIdx < spec.sections; sIdx++ {
+		domTargets = append(domTargets, fmt.Sprintf("sec%d", sIdx))
+	}
+	domTargets = append(domTargets, "hdr", "hero", "roll-cap")
+	var allBrowseFns []string
+	maxLate := 0
+	for _, ls := range spec.libs {
+		lib := genJSLib(ls.name, o.scaleInt(ls.used), ls.browse, o.scaleInt(ls.dead), ls.bytesPerFn, ls.iters, domTargets...)
+		src := lib.Source + callAll(lib.UsedFns)
+		url := fmt.Sprintf("%slib/%s.js", site.URL, ls.name)
+		site.Add(&content.Resource{URL: url, Type: content.JS, Body: []byte(src), LatencyMs: ls.late})
+		head.WriteString(fmt.Sprintf("<script src=\"%s\"></script>\n", url))
+		allBrowseFns = append(allBrowseFns, lib.BrowseFns...)
+		if ls.late > maxLate {
+			maxLate = ls.late
+		}
+	}
+
+	// Body.
+	body.WriteString("<div id=\"hdr\" class=\"topbar\"><button id=\"menu-btn\" class=\"menu-btn\">Menu</button><span>Sign in · Orders · Cart</span></div>\n")
+	if spec.promoLayer {
+		body.WriteString("<div id=\"promo\" class=\"promo\">Limited time deal banner that the header covers</div>\n")
+	}
+	body.WriteString("<div id=\"menu-panel\" class=\"mpanel\"><ul><li>Departments</li><li>Settings</li><li>Help</li></ul></div>\n")
+	if spec.searchBox {
+		body.WriteString("<input id=\"q\" class=\"searchbox\">\n")
+	}
+	imgIdx := 0
+	img := func(cls string) string {
+		if imgIdx >= spec.images {
+			return ""
+		}
+		u := fmt.Sprintf("%simg/i%d.jpg", site.URL, imgIdx)
+		site.Add(&content.Resource{
+			URL: u, Type: content.Image, Body: imageBody(imgIdx, spec.imageKB*1024),
+			W: spec.imgW, H: spec.imgH, LatencyMs: spec.imgLatencyMs + 37*imgIdx,
+		})
+		imgIdx++
+		return fmt.Sprintf("<img class=\"%s\" src=\"%s\">", cls, u)
+	}
+	body.WriteString("<div id=\"hero\" class=\"hero\">")
+	body.WriteString(img("thumb"))
+	body.WriteString("<button id=\"roll-next\" class=\"menu-btn\">Next</button><span id=\"roll-cap\" class=\"cap\">Photo 1 of 8</span></div>\n")
+	if spec.canvasPane {
+		body.WriteString("<div id=\"zoom\" class=\"zoombar\"><button id=\"zoom-in\" class=\"menu-btn\">+</button></div>\n")
+		body.WriteString("<div id=\"map\" class=\"mappane\">\n")
+		for imgIdx < spec.images {
+			body.WriteString("<div class=\"maptile\">" + img("maptile") + "</div>\n")
+		}
+		body.WriteString("</div>\n")
+	}
+	for s := 0; s < spec.sections; s++ {
+		fmt.Fprintf(&body, "<section id=\"sec%d\" class=\"sec\"><h2>Recommended row %d</h2>\n", s, s)
+		for it := 0; it < spec.itemsPerSection; it++ {
+			fmt.Fprintf(&body, "<div class=\"item\">%s<span class=\"cap\">Product %d-%d with a descriptive caption line</span></div>\n", img("thumb"), s, it)
+		}
+		body.WriteString("</section>\n")
+	}
+	if spec.newsPane {
+		body.WriteString("<div id=\"news\" class=\"newsbox\"><button id=\"news-next\" class=\"menu-btn\">More</button>")
+		for n := 0; n < 4; n++ {
+			fmt.Fprintf(&body, "<div class=\"news-item\"><span class=\"cap\">Headline item %d with summary text</span></div>", n)
+		}
+		body.WriteString("</div>\n")
+	}
+	body.WriteString("<footer id=\"footer\" class=\"foot\">About · Careers · Press · Conditions of use · Privacy</footer>\n")
+
+	// Wiring script: handlers, analytics heartbeat. It must compile after
+	// the libraries, so it ships as the slowest script resource.
+	var wire strings.Builder
+	dispatchBody := func(fns []string) string {
+		var d strings.Builder
+		for _, f := range fns {
+			fmt.Fprintf(&d, "  var v_%s = %s(el);\n", f, f)
+		}
+		return d.String()
+	}
+	third := (len(allBrowseFns) + 2) / 3
+	wire.WriteString("function onMenuClick(el) {\n  var p = document.getElementById('menu-panel');\n  p.style.display = 1;\n" +
+		dispatchBody(pick(allBrowseFns, 0, third)) + "  return 1;\n}\n")
+	wire.WriteString("function onRollNext(el) {\n  var c = document.getElementById('roll-cap');\n  c.textContent = 'Photo ' + 2;\n" +
+		dispatchBody(pick(allBrowseFns, third, 2*third)) + "  return 1;\n}\n")
+	wire.WriteString("function onNewsRoll(el) {\n  var nn = document.getElementById('news');\n  nn.style.background = 15786224;\n" +
+		dispatchBody(pick(allBrowseFns, 2*third, len(allBrowseFns))) + "  return 1;\n}\n")
+	wire.WriteString("function onKey(el, k) {\n  var c = el.offsetWidth + k;\n  return c;\n}\n")
+	if spec.heartbeats > 0 {
+		wire.WriteString(fmt.Sprintf("var hb_left = %d;\n", o.scaleInt(spec.heartbeats)))
+		wire.WriteString(fmt.Sprintf(`function heartbeat() {
+  if (hb_left > 0) {
+    hb_left = hb_left - 1;
+    var t = performance.now();
+    var acc = 0;
+    for (var i = 0; i < 30; i = i + 1) { acc = acc + i * t; }
+    navigator.sendBeacon('m', 256);
+    setTimeout(heartbeat, %d);
+  }
+  return hb_left;
+}
+heartbeat();
+`, spec.hbPeriodMs))
+	}
+	wire.WriteString("var mb = document.getElementById('menu-btn');\nmb.addEventListener('click', onMenuClick);\n")
+	wire.WriteString("var rn = document.getElementById('roll-next');\nrn.addEventListener('click', onRollNext);\n")
+	if spec.newsPane {
+		wire.WriteString("var nb = document.getElementById('news-next');\nnb.addEventListener('click', onNewsRoll);\n")
+	}
+	if spec.searchBox {
+		wire.WriteString("var qq = document.getElementById('q');\nqq.addEventListener('keypress', onKey);\n")
+	}
+	wireURL := site.URL + "wire.js"
+	site.Add(&content.Resource{URL: wireURL, Type: content.JS, Body: []byte(wire.String()), LatencyMs: maxLate + 60})
+	head.WriteString(fmt.Sprintf("<script src=\"%s\"></script>\n", wireURL))
+
+	doc := "<html><head>\n<title>" + spec.name + "</title>\n" + head.String() + "</head>\n<body class=\"page\">\n" + body.String() + "</body></html>"
+	site.Add(&content.Resource{URL: site.URL, Type: content.HTML, Body: []byte(doc), LatencyMs: 90})
+	_ = classes
+	return site
+}
+
+func pick(s []string, lo, hi int) []string {
+	if lo > len(s) {
+		lo = len(s)
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}

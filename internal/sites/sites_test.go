@@ -1,0 +1,128 @@
+package sites
+
+import (
+	"strings"
+	"testing"
+
+	"webslice/internal/browser"
+	"webslice/internal/browser/js"
+	"webslice/internal/content"
+)
+
+const testScale = 0.06
+
+func TestAllBenchmarksRender(t *testing.T) {
+	for _, bm := range TableII(testScale) {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			b := browser.New(bm.Site, bm.Profile)
+			b.RunSession()
+			for _, err := range b.Errors {
+				t.Fatalf("pipeline error: %v", err)
+			}
+			if b.DOM.Count() < 10 {
+				t.Errorf("DOM too small: %d nodes", b.DOM.Count())
+			}
+			if b.Raster.MarkedTiles == 0 {
+				t.Error("no pixel markers")
+			}
+			if b.LoadedIndex == 0 {
+				t.Error("load never completed")
+			}
+			if err := b.M.Tr.Validate(); err != nil {
+				t.Errorf("invalid trace: %v", err)
+			}
+			sum := b.M.Tr.Summarize()
+			// All declared threads must execute work.
+			threads := 3 + bm.Profile.RasterWorkers + bm.Profile.PoolWorkers
+			if sum.Threads != threads {
+				t.Errorf("threads = %d, want %d", sum.Threads, threads)
+			}
+		})
+	}
+}
+
+func TestGeneratedJSParses(t *testing.T) {
+	lib := genJSLib("x", 3, 2, 4, 1200, 50, "sec0", "hdr")
+	src := lib.Source + callAll(lib.UsedFns)
+	if _, err := js.ParseScript(src); err != nil {
+		t.Fatalf("generated library does not parse: %v\n%s", err, src[:min(400, len(src))])
+	}
+	if len(lib.UsedFns) != 3 || len(lib.BrowseFns) != 2 {
+		t.Errorf("function counts wrong: %v %v", lib.UsedFns, lib.BrowseFns)
+	}
+	// Byte mass should be near the target.
+	if len(lib.Source) < 9*800 {
+		t.Errorf("library too small: %d bytes", len(lib.Source))
+	}
+}
+
+func TestBingVariants(t *testing.T) {
+	loadOnly := Bing(Options{Scale: testScale})
+	if len(loadOnly.Site.Session) != 0 {
+		t.Error("load-only Bing must have no session")
+	}
+	browse := Bing(Options{Scale: testScale, Browse: true})
+	if len(browse.Site.Session) == 0 {
+		t.Error("browse Bing must have a session")
+	}
+	hasType := false
+	for _, a := range browse.Site.Session {
+		if a.Kind == content.TypeText {
+			hasType = true
+		}
+	}
+	if !hasType {
+		t.Error("Bing session must type a search term")
+	}
+	if len(browse.Site.BrowseResources) == 0 {
+		t.Error("Bing browse must download extra resources (Table I)")
+	}
+}
+
+func TestViewports(t *testing.T) {
+	d := AmazonDesktop(Options{Scale: testScale})
+	m := AmazonMobile(Options{Scale: testScale})
+	if d.Site.ViewportW != 1280 || d.Site.ViewportH != 720 {
+		t.Errorf("desktop viewport %dx%d", d.Site.ViewportW, d.Site.ViewportH)
+	}
+	if m.Site.ViewportW != 360 || m.Site.ViewportH != 640 {
+		t.Errorf("mobile viewport %dx%d (paper: emulated 360x640)", m.Site.ViewportW, m.Site.ViewportH)
+	}
+	if m.Profile.RasterWorkers != 2 || d.Profile.RasterWorkers != 3 {
+		t.Error("paper: 3 rasterizers for Amazon desktop, 2 elsewhere")
+	}
+}
+
+func TestSiteResourcesWellFormed(t *testing.T) {
+	for _, bm := range TableII(testScale) {
+		doc, ok := bm.Site.Get(bm.Site.URL)
+		if !ok || doc.Type != content.HTML {
+			t.Fatalf("%s: missing main document", bm.Name)
+		}
+		// Every script/link URL referenced in the document must resolve.
+		body := string(doc.Body)
+		for _, r := range bm.Site.Resources {
+			if r.Type == content.JS || r.Type == content.CSS {
+				if !strings.Contains(body, r.URL) {
+					t.Errorf("%s: resource %s not referenced by the document", bm.Name, r.URL)
+				}
+			}
+		}
+	}
+}
+
+func TestTableISetComposition(t *testing.T) {
+	set := TableI(testScale)
+	if len(set) != 3 {
+		t.Fatalf("Table I covers 3 sites, got %d", len(set))
+	}
+	for _, pair := range set {
+		if len(pair.Load.Site.Session) != 0 {
+			t.Errorf("%s: load variant must not browse", pair.Name)
+		}
+		if pair.Name != "Bing" && len(pair.LoadAndBrowse.Site.Session) == 0 {
+			t.Errorf("%s: browse variant must have a session", pair.Name)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package slicer
+
+// Bitset is a fixed-size bitset over record indices.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// bitsetGrow is a growable bitset keyed by register ID, with destructive
+// test-and-clear: the live-register set of the liveness analysis. Registers
+// are SSA (written once), so Kill at the defining instruction both answers
+// "was this value needed?" and retires the register.
+type bitsetGrow struct {
+	words []uint64
+}
+
+func newBitsetGrow() *bitsetGrow { return &bitsetGrow{} }
+
+// Set marks register id live.
+func (b *bitsetGrow) Set(id uint32) {
+	w := int(id >> 6)
+	if w >= len(b.words) {
+		grown := make([]uint64, w+w/2+1)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	b.words[w] |= 1 << (id & 63)
+}
+
+// Get reports whether register id is live.
+func (b *bitsetGrow) Get(id uint32) bool {
+	w := int(id >> 6)
+	return w < len(b.words) && b.words[w]&(1<<(id&63)) != 0
+}
+
+// Kill clears register id and reports whether it was live.
+func (b *bitsetGrow) Kill(id uint32) bool {
+	w := int(id >> 6)
+	if w >= len(b.words) {
+		return false
+	}
+	mask := uint64(1) << (id & 63)
+	was := b.words[w]&mask != 0
+	b.words[w] &^= mask
+	return was
+}

@@ -1,0 +1,80 @@
+package slicer
+
+import (
+	"testing"
+
+	"webslice/internal/isa"
+	"webslice/internal/vm"
+	"webslice/internal/vmem"
+)
+
+// Mimics the style resolver: per element, a matcher frame loops candidates
+// under a traced counted loop (vm.Loop), branches on a loaded compare, and on
+// match calls an apply function that stores to the style record consumed by
+// pixels. The loop's explicit exit branch is what makes the apply call
+// control-dependent on the match branch (without it the call postdominates
+// the branch and FOW correctly reports no dependence).
+func TestResolverShapedControlDeps(t *testing.T) {
+	m := vm.New()
+	m.Thread(0, "main")
+	matchFn := m.Func("match", "test")
+	applyFn := m.Func("apply", "test")
+	style := m.Heap.Alloc(64)
+	tile := m.Tile.Alloc(64)
+
+	rules := []struct {
+		hash  uint64
+		value uint64
+	}{{7, 0xAA}, {9, 0xBB}, {7, 0xCC}}
+	ruleMem := make([]vmem.Addr, len(rules))
+	for i, r := range rules {
+		ruleMem[i] = m.Heap.Alloc(16)
+		m.StoreU32(ruleMem[i], m.Const(r.hash))
+		m.StoreU32(ruleMem[i]+4, m.Const(r.value))
+	}
+	node := m.Heap.Alloc(8)
+	m.StoreU32(node, m.Const(7))
+
+	var branchIdxs []int
+	m.Call(matchFn, func() {
+		m.Loop("cands", len(rules), func(i int) {
+			m.At("check")
+			got := m.LoadU32(node)
+			want := m.LoadU32(ruleMem[i])
+			eq := m.Op(isa.OpCmpEQ, got, want)
+			branchIdxs = append(branchIdxs, len(m.Tr.Recs))
+			if m.Branch(eq) {
+				m.At("matched")
+				m.Call(applyFn, func() {
+					m.At("decl")
+					v := m.LoadU32(ruleMem[i] + 4)
+					m.StoreU32(style, v)
+				})
+			} else {
+				m.At("reject")
+			}
+		})
+	})
+	// Style flows to pixels.
+	v := m.LoadU32(style)
+	m.StoreU32(tile, v)
+	m.MarkPixels(vmem.Range{Addr: tile, Size: 4})
+
+	res := pixelSlice(t, m, Options{})
+	// The final matching rule (index 2) wins; its branch must be in slice.
+	if !res.InSlice.Get(branchIdxs[2]) {
+		t.Error("winning rule's match branch not in slice")
+	}
+	// Its condition loads must be in slice.
+	found := false
+	for i := branchIdxs[2] - 3; i < branchIdxs[2]; i++ {
+		if res.InSlice.Get(i) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("match condition chain not in slice")
+	}
+	// The overwritten rule-0 apply must be excluded (its store was killed).
+	t.Logf("slice: %d/%d", res.SliceCount, res.Total)
+}

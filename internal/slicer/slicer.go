@@ -1,0 +1,405 @@
+// Package slicer implements the backward pass of the profiler: dynamic
+// backward program slicing over an instruction trace via liveness analysis,
+// exactly as §III-B of the paper describes. A set of live variables —
+// per-thread live registers plus one shared live memory set — is updated
+// from two sources: the slicing criteria (pairs of program point and
+// variable set) and the operation of each instruction walked in reverse.
+// Control dependences are honored with the paper's pending-branch-list
+// mechanism, using the control dependence graph built by the forward pass.
+package slicer
+
+import (
+	"fmt"
+
+	"webslice/internal/cdg"
+	"webslice/internal/isa"
+	"webslice/internal/trace"
+	"webslice/internal/vmem"
+)
+
+// Criteria designates, for each program point the backward pass reaches,
+// which variables (memory ranges) become live there — the machine form of
+// the paper's (program point, set of variables) pairs.
+type Criteria interface {
+	// Name identifies the criteria in reports.
+	Name() string
+	// At is invoked for every record in the backward pass. mem lists memory
+	// ranges that become live at this point; anchor reports that the record
+	// itself is part of the slice (its register sources become live).
+	At(i int, r *trace.Rec, t *trace.Trace) (mem []vmem.Range, anchor bool)
+}
+
+// PixelCriteria makes the final pixel values live at every pixel-buffer
+// marker: the paper's primary criterion ("the pixels buffer at points where
+// it contains the final values of pixels that are going to be put on the
+// device display").
+type PixelCriteria struct{}
+
+// Name implements Criteria.
+func (PixelCriteria) Name() string { return "pixels" }
+
+// At implements Criteria.
+func (PixelCriteria) At(i int, r *trace.Rec, t *trace.Trace) ([]vmem.Range, bool) {
+	if r.Kind != isa.KindMarker {
+		return nil, false
+	}
+	mk := t.Marks[i]
+	if mk == nil || mk.Kind != isa.MarkPixels {
+		return nil, false
+	}
+	return []vmem.Range{mk.Buf}, false
+}
+
+// SyscallCriteria makes the values consumed by system calls live: the
+// paper's second, broader criterion capturing everything the process
+// communicates to the outside world (network, display, audio). Its slice is
+// by construction inclusive of the pixel slice when display output flows
+// through an output syscall.
+type SyscallCriteria struct{}
+
+// Name implements Criteria.
+func (SyscallCriteria) Name() string { return "syscalls" }
+
+// At implements Criteria.
+func (SyscallCriteria) At(i int, r *trace.Rec, t *trace.Trace) ([]vmem.Range, bool) {
+	if r.Kind != isa.KindSyscall {
+		return nil, false
+	}
+	eff := t.Sys[i]
+	if eff == nil {
+		return nil, true
+	}
+	return eff.Reads, true
+}
+
+// Union combines criteria: a point is live if any member makes it live.
+type Union []Criteria
+
+// Name implements Criteria.
+func (u Union) Name() string {
+	s := "union("
+	for i, c := range u {
+		if i > 0 {
+			s += "+"
+		}
+		s += c.Name()
+	}
+	return s + ")"
+}
+
+// At implements Criteria.
+func (u Union) At(i int, r *trace.Rec, t *trace.Trace) ([]vmem.Range, bool) {
+	var mem []vmem.Range
+	anchor := false
+	for _, c := range u {
+		m, a := c.At(i, r, t)
+		mem = append(mem, m...)
+		anchor = anchor || a
+	}
+	return mem, anchor
+}
+
+// Window restricts criteria to program points at record index < Limit —
+// used for the paper's Bing experiment that slices backward starting from
+// the moment the page finished loading rather than from the end of the
+// browsing session.
+type Window struct {
+	Inner Criteria
+	Limit int
+}
+
+// Name implements Criteria.
+func (w Window) Name() string { return fmt.Sprintf("%s[<%d]", w.Inner.Name(), w.Limit) }
+
+// At implements Criteria.
+func (w Window) At(i int, r *trace.Rec, t *trace.Trace) ([]vmem.Range, bool) {
+	if i >= w.Limit {
+		return nil, false
+	}
+	return w.Inner.At(i, r, t)
+}
+
+// Options tune a slicing run.
+type Options struct {
+	// Live selects the live-memory implementation; nil means NewWordSet().
+	Live LiveMem
+	// NoControlDeps disables the pending-branch mechanism (data-dependence-
+	// only slicing) for the ablation study.
+	NoControlDeps bool
+	// ProgressPoints is how many samples of the backward-progress curve to
+	// record (paper Figure 4). 0 disables sampling.
+	ProgressPoints int
+	// MainThread identifies the thread whose separate progress curve Figure
+	// 4 plots (Chromium's CrRendererMain analog).
+	MainThread uint8
+}
+
+// Result is the computed slice plus the statistics the paper reports.
+type Result struct {
+	Criteria string
+	Total    int
+	// InSlice is a bitset over record indices.
+	InSlice Bitset
+	// SliceCount is the number of records in the slice.
+	SliceCount int
+	// ByThread and SliceByThread count records per thread.
+	ByThread      map[uint8]int
+	SliceByThread map[uint8]int
+	// ByFunc and SliceByFunc count records per function.
+	ByFunc      map[trace.FuncID]int
+	SliceByFunc map[trace.FuncID]int
+	// Progress samples the backward pass from its start (the end of the
+	// trace) to its finish (the beginning), for all threads and for the
+	// main thread (paper Figure 4).
+	Progress []ProgressPoint
+	// PendingLeft counts branch PCs still pending when the pass finished
+	// (nonzero only for truncated traces).
+	PendingLeft int
+}
+
+// ProgressPoint is one sample of the backward pass: after Processed records
+// (counted from the end of the trace), Sliced of them were in the slice;
+// the Main* fields restrict both counts to the main thread.
+type ProgressPoint struct {
+	Processed, Sliced         int
+	MainProcessed, MainSliced int
+}
+
+// Percent returns the slice percentage over all instructions.
+func (r *Result) Percent() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.SliceCount) / float64(r.Total)
+}
+
+// ThreadPercent returns the slice percentage within one thread.
+func (r *Result) ThreadPercent(tid uint8) float64 {
+	if r.ByThread[tid] == 0 {
+		return 0
+	}
+	return 100 * float64(r.SliceByThread[tid]) / float64(r.ByThread[tid])
+}
+
+// RangePercent returns the slice percentage of records in [lo, hi).
+func (r *Result) RangePercent(lo, hi int) float64 {
+	n, in := 0, 0
+	for i := lo; i < hi && i < r.Total; i++ {
+		n++
+		if r.InSlice.Get(i) {
+			in++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(in) / float64(n)
+}
+
+type threadState struct {
+	depth   int
+	pending map[int]map[uint32]struct{}
+	contrib map[int]bool
+}
+
+// Slice runs the backward pass over t with the given criteria, control
+// dependences (from the forward pass; may be nil only when
+// opts.NoControlDeps is set), and options.
+func Slice(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options) (*Result, error) {
+	if c == nil {
+		return nil, fmt.Errorf("slicer: nil criteria")
+	}
+	if deps == nil && !opts.NoControlDeps {
+		return nil, fmt.Errorf("slicer: control dependences required (or set NoControlDeps)")
+	}
+	live := opts.Live
+	if live == nil {
+		live = NewWordSet()
+	}
+
+	n := len(t.Recs)
+	res := &Result{
+		Criteria:      c.Name(),
+		Total:         n,
+		InSlice:       NewBitset(n),
+		ByThread:      make(map[uint8]int),
+		SliceByThread: make(map[uint8]int),
+		ByFunc:        make(map[trace.FuncID]int),
+		SliceByFunc:   make(map[trace.FuncID]int),
+	}
+
+	regs := newBitsetGrow()
+	threads := make(map[uint8]*threadState)
+	state := func(tid uint8) *threadState {
+		s := threads[tid]
+		if s == nil {
+			s = &threadState{
+				pending: make(map[int]map[uint32]struct{}),
+				contrib: make(map[int]bool),
+			}
+			threads[tid] = s
+		}
+		return s
+	}
+
+	var sampleEvery int
+	if opts.ProgressPoints > 0 {
+		sampleEvery = n / opts.ProgressPoints
+		if sampleEvery == 0 {
+			sampleEvery = 1
+		}
+	}
+	var processed, sliced, mainProcessed, mainSliced int
+
+	for i := n - 1; i >= 0; i-- {
+		r := &t.Recs[i]
+		th := state(r.TID)
+		res.ByThread[r.TID]++
+		res.ByFunc[r.Func()]++
+
+		// Criteria: reaching this program point may make variables live.
+		if mem, anchor := c.At(i, r, t); len(mem) > 0 || anchor {
+			for _, rg := range mem {
+				live.Add(rg)
+			}
+			if anchor {
+				markSlice(res, i, r, th, deps, opts, regs)
+				setReg(regs, r.Src1)
+				setReg(regs, r.Src2)
+			}
+		}
+
+		switch r.Kind {
+		case isa.KindConst:
+			if regs.Kill(uint32(r.Dst)) {
+				markSlice(res, i, r, th, deps, opts, regs)
+			}
+		case isa.KindOp:
+			if regs.Kill(uint32(r.Dst)) {
+				markSlice(res, i, r, th, deps, opts, regs)
+				setReg(regs, r.Src1)
+				setReg(regs, r.Src2)
+			}
+		case isa.KindLoad:
+			if regs.Kill(uint32(r.Dst)) {
+				markSlice(res, i, r, th, deps, opts, regs)
+				live.Add(r.MemRange())
+				setReg(regs, r.Src2) // address register
+			}
+		case isa.KindStore:
+			if live.Kill(r.MemRange()) {
+				markSlice(res, i, r, th, deps, opts, regs)
+				setReg(regs, r.Src1) // value
+				setReg(regs, r.Src2) // address register
+			}
+		case isa.KindBranch:
+			if !opts.NoControlDeps {
+				if set := th.pending[th.depth]; len(set) > 0 {
+					if _, ok := set[r.PC]; ok {
+						delete(set, r.PC)
+						markSlice(res, i, r, th, deps, opts, regs)
+						setReg(regs, r.Src1) // condition
+					}
+				}
+			}
+		case isa.KindRet:
+			// Walking backward, a return means we are entering the callee's
+			// body: deeper frame, fresh pending/contribution scope.
+			th.depth++
+			th.contrib[th.depth] = false
+			delete(th.pending, th.depth)
+		case isa.KindCall:
+			calleeDepth := th.depth
+			contributed := th.contrib[calleeDepth]
+			if set := th.pending[calleeDepth]; len(set) > 0 {
+				res.PendingLeft += len(set)
+			}
+			delete(th.contrib, calleeDepth)
+			delete(th.pending, calleeDepth)
+			th.depth--
+			if contributed {
+				// Interprocedural control dependence: the call instruction
+				// guards everything its instance executed.
+				markSlice(res, i, r, th, deps, opts, regs)
+			}
+		case isa.KindSyscall:
+			// A syscall defines the memory it writes (e.g. recvfrom filling
+			// the response buffer): if any of that is live, the external
+			// input is part of the provenance.
+			if eff := t.Sys[i]; eff != nil {
+				hit := false
+				for _, w := range eff.Writes {
+					if live.Kill(w) {
+						hit = true
+					}
+				}
+				if regs.Kill(uint32(r.Dst)) {
+					hit = true
+				}
+				if hit {
+					markSlice(res, i, r, th, deps, opts, regs)
+					for _, rd := range eff.Reads {
+						live.Add(rd)
+					}
+				}
+			}
+		case isa.KindMarker, isa.KindNop:
+			// Criteria handled above; markers are pseudo-instructions and
+			// never join the slice themselves.
+		}
+
+		processed++
+		if res.InSlice.Get(i) {
+			sliced++
+		}
+		if r.TID == opts.MainThread {
+			mainProcessed++
+			if res.InSlice.Get(i) {
+				mainSliced++
+			}
+		}
+		if sampleEvery > 0 && processed%sampleEvery == 0 {
+			res.Progress = append(res.Progress, ProgressPoint{processed, sliced, mainProcessed, mainSliced})
+		}
+	}
+	if sampleEvery > 0 && (len(res.Progress) == 0 || res.Progress[len(res.Progress)-1].Processed != processed) {
+		res.Progress = append(res.Progress, ProgressPoint{processed, sliced, mainProcessed, mainSliced})
+	}
+	for _, th := range threads {
+		for _, set := range th.pending {
+			res.PendingLeft += len(set)
+		}
+	}
+	return res, nil
+}
+
+// markSlice adds record i to the slice, credits its thread/function tallies,
+// flags its frame as contributing, and schedules its control-dependence
+// branches on the pending list.
+func markSlice(res *Result, i int, r *trace.Rec, th *threadState, deps *cdg.Deps, opts Options, regs *bitsetGrow) {
+	if res.InSlice.Get(i) {
+		return
+	}
+	res.InSlice.Set(i)
+	res.SliceCount++
+	res.SliceByThread[r.TID]++
+	res.SliceByFunc[r.Func()]++
+	th.contrib[th.depth] = true
+	if opts.NoControlDeps || deps == nil {
+		return
+	}
+	for _, bpc := range deps.Of(r.PC) {
+		set := th.pending[th.depth]
+		if set == nil {
+			set = make(map[uint32]struct{})
+			th.pending[th.depth] = set
+		}
+		set[bpc] = struct{}{}
+	}
+}
+
+func setReg(regs *bitsetGrow, r isa.Reg) {
+	if r != isa.RegNone {
+		regs.Set(uint32(r))
+	}
+}

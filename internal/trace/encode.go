@@ -1,0 +1,328 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"webslice/internal/isa"
+	"webslice/internal/vmem"
+)
+
+// Binary trace format ("WSLT"): a magic header, the symbol/thread tables, a
+// varint-delta record stream, and the side tables. The paper stored its Pin
+// traces in stable storage and re-read them for each slicing run; this format
+// serves the same purpose for cmd/webslice and cmd/tracedump.
+
+var magic = [4]byte{'W', 'S', 'L', 'T'}
+
+const formatVersion = 1
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	putUvarint(bw, formatVersion)
+
+	// Symbol table.
+	putUvarint(bw, uint64(len(t.Funcs)))
+	for _, f := range t.Funcs {
+		putString(bw, f.Name)
+		putString(bw, f.Namespace)
+	}
+	// Threads.
+	putUvarint(bw, uint64(len(t.Threads)))
+	for _, th := range t.Threads {
+		putUvarint(bw, uint64(th.ID))
+		putString(bw, th.Name)
+	}
+
+	// Records: per-field varints with PC delta-encoding against the previous
+	// record of the same thread (consecutive sites are usually adjacent).
+	putUvarint(bw, uint64(len(t.Recs)))
+	var lastPC [256]uint32
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		bw.WriteByte(byte(r.Kind))
+		bw.WriteByte(r.TID)
+		putVarint(bw, int64(r.PC)-int64(lastPC[r.TID]))
+		lastPC[r.TID] = r.PC
+		putUvarint(bw, uint64(r.Dst))
+		putUvarint(bw, uint64(r.Src1))
+		putUvarint(bw, uint64(r.Src2))
+		putUvarint(bw, uint64(r.Addr))
+		putUvarint(bw, uint64(r.Aux))
+		putUvarint(bw, uint64(r.Size))
+	}
+
+	// Syscall side table.
+	putUvarint(bw, uint64(len(t.Sys)))
+	for _, i := range sortedKeys(t.Sys) {
+		e := t.Sys[i]
+		putUvarint(bw, uint64(i))
+		putUvarint(bw, uint64(e.Num))
+		putRanges(bw, e.Reads)
+		putRanges(bw, e.Writes)
+	}
+	// Marker side table.
+	putUvarint(bw, uint64(len(t.Marks)))
+	for _, i := range sortedKeys(t.Marks) {
+		m := t.Marks[i]
+		putUvarint(bw, uint64(i))
+		putUvarint(bw, uint64(m.ID))
+		bw.WriteByte(byte(m.Kind))
+		putUvarint(bw, uint64(m.Buf.Addr))
+		putUvarint(bw, uint64(m.Buf.Size))
+	}
+	// Clock checkpoints.
+	putUvarint(bw, uint64(len(t.Clock)))
+	for _, cp := range t.Clock {
+		putUvarint(bw, uint64(cp.Index))
+		putUvarint(bw, cp.Cycle)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic (not a WSLT trace)")
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
+	}
+	t := New()
+
+	nf, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nf > MaxFuncs {
+		return nil, fmt.Errorf("trace: absurd function count %d", nf)
+	}
+	t.Funcs = make([]FuncInfo, nf)
+	for i := range t.Funcs {
+		if t.Funcs[i].Name, err = getString(br); err != nil {
+			return nil, err
+		}
+		if t.Funcs[i].Namespace, err = getString(br); err != nil {
+			return nil, err
+		}
+	}
+
+	nth, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nth; i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		name, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Threads = append(t.Threads, ThreadInfo{ID: uint8(id), Name: name})
+	}
+
+	nr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nr > 0 {
+		t.Recs = make([]Rec, nr)
+	}
+	var lastPC [256]uint32
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		r.Kind = isa.Kind(kb)
+		if r.TID, err = br.ReadByte(); err != nil {
+			return nil, err
+		}
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		r.PC = uint32(int64(lastPC[r.TID]) + d)
+		lastPC[r.TID] = r.PC
+		fields := []*uint32{(*uint32)(&r.Dst), (*uint32)(&r.Src1), (*uint32)(&r.Src2), (*uint32)(&r.Addr), &r.Aux}
+		for _, f := range fields {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			*f = uint32(v)
+		}
+		sz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		r.Size = uint16(sz)
+	}
+
+	ns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ns; i++ {
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		num, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		e := &SysEffect{Num: isa.Sys(num)}
+		if e.Reads, err = getRanges(br); err != nil {
+			return nil, err
+		}
+		if e.Writes, err = getRanges(br); err != nil {
+			return nil, err
+		}
+		t.Sys[int(idx)] = e
+	}
+
+	nm, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nm; i++ {
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		a, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		sz, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Marks[int(idx)] = &Mark{ID: uint32(id), Kind: isa.MarkKind(kb), Buf: vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}}
+	}
+
+	nc, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nc == 0 {
+		return t, nil
+	}
+	t.Clock = make([]ClockPoint, nc)
+	for i := range t.Clock {
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cyc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Clock[i] = ClockPoint{Index: int(idx), Cycle: cyc}
+	}
+	return t, nil
+}
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putString(w *bufio.Writer, s string) {
+	putUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func getString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: absurd string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func putRanges(w *bufio.Writer, rs []vmem.Range) {
+	putUvarint(w, uint64(len(rs)))
+	for _, r := range rs {
+		putUvarint(w, uint64(r.Addr))
+		putUvarint(w, uint64(r.Size))
+	}
+}
+
+func getRanges(r *bufio.Reader) ([]vmem.Range, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<24 {
+		return nil, fmt.Errorf("trace: absurd range count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]vmem.Range, n)
+	for i := range out {
+		a, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		sz, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}
+	}
+	return out, nil
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,173 @@
+package vm
+
+import (
+	"webslice/internal/isa"
+	"webslice/internal/vmem"
+)
+
+// This file holds convenience wrappers over the core instruction emitters.
+// They keep engine code terse without changing the tracing discipline: every
+// helper bottoms out in traced Load/Op/Store/Branch instructions.
+
+// StaticData deposits bytes into memory without tracing. It models data that
+// exists before tracing begins — the binary's read-only segments (font
+// tables, opcode tables) that Pin would also not attribute to any executed
+// instruction.
+func (m *Machine) StaticData(a vmem.Addr, b []byte) {
+	m.Mem.WriteBytes(a, b)
+}
+
+// Copy emits a traced memory copy of n bytes (vector loads and stores in
+// MaxAccess-sized chunks, like an unrolled memcpy).
+func (m *Machine) Copy(dst, src vmem.Addr, n int) {
+	m.At("memcpy")
+	for n > 0 {
+		c := min(n, MaxAccess)
+		v := m.Load(src, c)
+		m.Store(dst, c, v)
+		src += vmem.Addr(c)
+		dst += vmem.Addr(c)
+		n -= c
+	}
+}
+
+// Fill stores the low byte of v into n bytes starting at dst (traced, in
+// chunked vector stores). The register value is splatted, like memset.
+func (m *Machine) Fill(dst vmem.Addr, n int, v isa.Reg) {
+	m.At("memset")
+	splat := m.splat(v)
+	for n > 0 {
+		c := min(n, MaxAccess)
+		m.Store(dst, c, splat)
+		dst += vmem.Addr(c)
+		n -= c
+	}
+}
+
+func (m *Machine) splat(v isa.Reg) isa.Reg {
+	b := m.OpImm(isa.OpAnd, v, 0xFF)
+	s := b
+	for i := 0; i < 3; i++ {
+		sh := m.OpImm(isa.OpShl, s, uint64(8<<uint(i)))
+		s = m.Op(isa.OpOr, s, sh)
+	}
+	return s
+}
+
+// WriteData emits traced constant stores of b at a (the program
+// materializing computed constants into memory).
+func (m *Machine) WriteData(a vmem.Addr, b []byte) {
+	m.At("writedata")
+	for len(b) > 0 {
+		c := min(len(b), 8)
+		var v uint64
+		for i := 0; i < c; i++ {
+			v |= uint64(b[i]) << (8 * i)
+		}
+		m.Store(a, c, m.Const(v))
+		a += vmem.Addr(c)
+		b = b[c:]
+	}
+}
+
+// LoadU8 loads one byte.
+func (m *Machine) LoadU8(a vmem.Addr) isa.Reg { return m.Load(a, 1) }
+
+// LoadU16 loads two bytes.
+func (m *Machine) LoadU16(a vmem.Addr) isa.Reg { return m.Load(a, 2) }
+
+// LoadU32 loads four bytes.
+func (m *Machine) LoadU32(a vmem.Addr) isa.Reg { return m.Load(a, 4) }
+
+// LoadU64 loads eight bytes.
+func (m *Machine) LoadU64(a vmem.Addr) isa.Reg { return m.Load(a, 8) }
+
+// StoreU8 stores one byte of v.
+func (m *Machine) StoreU8(a vmem.Addr, v isa.Reg) { m.Store(a, 1, v) }
+
+// StoreU16 stores two bytes of v.
+func (m *Machine) StoreU16(a vmem.Addr, v isa.Reg) { m.Store(a, 2, v) }
+
+// StoreU32 stores four bytes of v.
+func (m *Machine) StoreU32(a vmem.Addr, v isa.Reg) { m.Store(a, 4, v) }
+
+// StoreU64 stores eight bytes of v.
+func (m *Machine) StoreU64(a vmem.Addr, v isa.Reg) { m.Store(a, 8, v) }
+
+// Add is Op(OpAdd, ...).
+func (m *Machine) Add(a, b isa.Reg) isa.Reg { return m.Op(isa.OpAdd, a, b) }
+
+// AddImm adds an immediate.
+func (m *Machine) AddImm(a isa.Reg, imm uint64) isa.Reg { return m.OpImm(isa.OpAdd, a, imm) }
+
+// Mov copies a register.
+func (m *Machine) Mov(a isa.Reg) isa.Reg { return m.Op(isa.OpMov, a, a) }
+
+// IfNZ branches on cond and returns taken; sugar for Branch.
+func (m *Machine) IfNZ(cond isa.Reg) bool { return m.Branch(cond) }
+
+// Scan runs a traced loop over [base, base+len) where len is the value of
+// lenReg, reading chunk bytes per iteration. Each iteration carries the real
+// loop anatomy — induction-variable update, bounds compare, conditional
+// branch, chunked vector load — so scan work is control-dependent on the
+// traced length and data-dependent on the scanned bytes. It is the workhorse
+// of the tokenizers and decoders. body receives the byte offset and the
+// loaded chunk register.
+func (m *Machine) Scan(label string, base vmem.Addr, lenReg isa.Reg, chunk int, body func(off int, data isa.Reg)) {
+	if chunk < 1 || chunk > MaxAccess {
+		panic("vm: bad scan chunk")
+	}
+	n := int(m.use(lenReg))
+	idx := m.Imm(0)
+	baseReg := m.Imm(uint64(base))
+	for off := 0; ; off += chunk {
+		m.At(label)
+		cond := m.Op(isa.OpCmpLT, idx, lenReg)
+		if !m.Branch(cond) {
+			break
+		}
+		m.At(label + ":body")
+		addr := m.Op(isa.OpAdd, baseReg, idx)
+		c := min(chunk, n-off)
+		data := m.LoadVia(addr, c)
+		body(off, data)
+		m.At(label + ":next")
+		idx = m.AddImm(idx, uint64(chunk))
+	}
+	m.At(label + ":done")
+}
+
+// Loop runs body n times under a traced counted loop: induction update,
+// bounds compare, and conditional exit branch per iteration. The explicit
+// exit branch matters for control dependence: it makes the code after the
+// loop reachable from the loop head without passing through the body, so
+// body work is control-dependent on the loop/guard branches exactly as in
+// real machine code.
+func (m *Machine) Loop(label string, n int, body func(i int)) {
+	idx := m.Imm(0)
+	bound := m.Imm(uint64(n))
+	for i := 0; ; i++ {
+		m.At(label + ":head")
+		c := m.Op(isa.OpCmpLT, idx, bound)
+		if !m.Branch(c) {
+			break
+		}
+		m.At(label + ":body")
+		body(i)
+		m.At(label + ":next")
+		idx = m.AddImm(idx, 1)
+	}
+	m.At(label + ":done")
+}
+
+// Bookkeep emits n rounds of counter-update busywork against stats memory at
+// addr (load, add one, store). It models bookkeeping loops — debug
+// histograms, metrics — whose output nothing user-visible ever reads.
+func (m *Machine) Bookkeep(addr vmem.Addr, n int) {
+	for i := 0; i < n; i++ {
+		m.At("bookkeep")
+		c := m.LoadU32(addr)
+		c2 := m.AddImm(c, 1)
+		m.StoreU32(addr, c2)
+	}
+}

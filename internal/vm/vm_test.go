@@ -1,0 +1,314 @@
+package vm
+
+import (
+	"testing"
+
+	"webslice/internal/isa"
+	"webslice/internal/trace"
+	"webslice/internal/vmem"
+)
+
+func newTestMachine(t *testing.T) *Machine {
+	t.Helper()
+	m := New()
+	m.Thread(0, "main")
+	return m
+}
+
+func TestConstOpStoreLoad(t *testing.T) {
+	m := newTestMachine(t)
+	a := m.Const(40)
+	b := m.Const(2)
+	sum := m.Op(isa.OpAdd, a, b)
+	if m.Val(sum) != 42 {
+		t.Fatalf("Val(sum) = %d", m.Val(sum))
+	}
+	addr := m.Heap.Alloc(8)
+	m.StoreU64(addr, sum)
+	back := m.LoadU64(addr)
+	if m.Val(back) != 42 {
+		t.Fatalf("loaded %d, want 42", m.Val(back))
+	}
+	// Trace shape: const, const, op, store, load.
+	kinds := []isa.Kind{isa.KindConst, isa.KindConst, isa.KindOp, isa.KindStore, isa.KindLoad}
+	if len(m.Tr.Recs) != len(kinds) {
+		t.Fatalf("trace length %d, want %d", len(m.Tr.Recs), len(kinds))
+	}
+	for i, k := range kinds {
+		if m.Tr.Recs[i].Kind != k {
+			t.Errorf("rec %d kind %v, want %v", i, m.Tr.Recs[i].Kind, k)
+		}
+	}
+	if err := m.Tr.Validate(); err != nil {
+		t.Errorf("trace invalid: %v", err)
+	}
+}
+
+func TestStablePCsAcrossInvocations(t *testing.T) {
+	m := newTestMachine(t)
+	fn := m.Func("work", "test")
+	var pcs [2][]uint32
+	for round := 0; round < 2; round++ {
+		start := len(m.Tr.Recs)
+		m.Call(fn, func() {
+			m.At("body")
+			x := m.Const(1)
+			y := m.AddImm(x, 2)
+			_ = y
+		})
+		for _, r := range m.Tr.Recs[start:] {
+			pcs[round] = append(pcs[round], r.PC)
+		}
+	}
+	if len(pcs[0]) != len(pcs[1]) {
+		// Imm caching makes round 2 shorter (constant already materialized);
+		// compare only the common structure: same PC must appear.
+		t.Logf("round lengths differ (%d vs %d) due to Imm cache; checking site reuse", len(pcs[0]), len(pcs[1]))
+	}
+	// The first record of each call body (the Const at label "body") must
+	// share a PC across invocations.
+	if pcs[0][1] != pcs[1][1] {
+		t.Errorf("body-entry PCs differ across invocations: %#x vs %#x", pcs[0][1], pcs[1][1])
+	}
+}
+
+func TestBranchFollowsCondition(t *testing.T) {
+	m := newTestMachine(t)
+	hot := m.Const(1)
+	cold := m.Const(0)
+	if !m.Branch(hot) {
+		t.Error("Branch(1) should be taken")
+	}
+	if m.Branch(cold) {
+		t.Error("Branch(0) should not be taken")
+	}
+	recs := m.Tr.Recs
+	if recs[2].Aux != 1 || recs[3].Aux != 0 {
+		t.Errorf("taken flags wrong: %d, %d", recs[2].Aux, recs[3].Aux)
+	}
+}
+
+func TestCallRetNesting(t *testing.T) {
+	m := newTestMachine(t)
+	outer := m.Func("outer", "test")
+	inner := m.Func("inner", "test")
+	m.Call(outer, func() {
+		m.Const(1)
+		m.Call(inner, func() {
+			m.Const(2)
+		})
+		m.Const(3)
+	})
+	var kinds []isa.Kind
+	var fns []trace.FuncID
+	for i := range m.Tr.Recs {
+		kinds = append(kinds, m.Tr.Recs[i].Kind)
+		fns = append(fns, m.Tr.Recs[i].Func())
+	}
+	want := []isa.Kind{isa.KindCall, isa.KindConst, isa.KindCall, isa.KindConst, isa.KindRet, isa.KindConst, isa.KindRet}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	// The call to inner is attributed to outer's frame; inner's const to inner.
+	if fns[2] != outer.ID || fns[3] != inner.ID || fns[5] != outer.ID {
+		t.Errorf("frame attribution wrong: %v", fns)
+	}
+}
+
+func TestCrossThreadRegisterPanics(t *testing.T) {
+	m := New()
+	m.Thread(0, "a")
+	m.Thread(1, "b")
+	r := m.Const(7)
+	m.Switch(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected cross-thread register panic")
+		}
+	}()
+	m.Op(isa.OpAdd, r, r)
+}
+
+func TestCrossThreadThroughMemoryOK(t *testing.T) {
+	m := New()
+	m.Thread(0, "a")
+	m.Thread(1, "b")
+	addr := m.Heap.Alloc(8)
+	v := m.Const(99)
+	m.StoreU64(addr, v)
+	m.Switch(1)
+	got := m.LoadU64(addr)
+	if m.Val(got) != 99 {
+		t.Errorf("cross-thread memory value = %d, want 99", m.Val(got))
+	}
+	if m.Tr.Recs[0].TID != 0 || m.Tr.Recs[2].TID != 1 {
+		t.Error("TID attribution wrong")
+	}
+}
+
+func TestSyscallFillAndSideTable(t *testing.T) {
+	m := newTestMachine(t)
+	buf := m.IOb.Alloc(16)
+	payload := []byte("HTTP/1.1 200 OK!")
+	ret := m.Syscall(isa.SysRecvfrom, isa.RegNone, isa.RegNone,
+		nil, []vmem.Range{{Addr: buf, Size: 16}}, payload)
+	if m.Val(ret) != 16 {
+		t.Errorf("syscall return = %d, want 16", m.Val(ret))
+	}
+	if got := m.Mem.ReadBytes(buf, 16); string(got) != string(payload) {
+		t.Errorf("kernel fill = %q", got)
+	}
+	eff := m.Tr.Sys[len(m.Tr.Recs)-1]
+	if eff == nil || eff.Num != isa.SysRecvfrom || len(eff.Writes) != 1 {
+		t.Errorf("side table entry wrong: %+v", eff)
+	}
+}
+
+func TestMarkPixels(t *testing.T) {
+	m := newTestMachine(t)
+	tile := m.Tile.Alloc(256)
+	m.MarkPixels(vmem.Range{Addr: tile, Size: 256})
+	mk := m.Tr.Marks[len(m.Tr.Recs)-1]
+	if mk == nil || mk.Kind != isa.MarkPixels || mk.Buf.Size != 256 {
+		t.Fatalf("marker entry wrong: %+v", mk)
+	}
+	if err := m.Tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdleAdvancesClock(t *testing.T) {
+	m := newTestMachine(t)
+	m.Const(1)
+	m.Idle(1000)
+	m.Const(2)
+	if m.Cycle() != 1002 {
+		t.Errorf("cycle = %d, want 1002", m.Cycle())
+	}
+	if got := m.Tr.CycleAt(1); got != 1001 {
+		t.Errorf("CycleAt(1) = %d, want 1001", got)
+	}
+}
+
+func TestCopyFillWriteData(t *testing.T) {
+	m := newTestMachine(t)
+	src := m.Heap.Alloc(100)
+	dst := m.Heap.Alloc(100)
+	content := make([]byte, 100)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	m.StaticData(src, content)
+	m.Copy(dst, src, 100)
+	if got := m.Mem.ReadBytes(dst, 100); string(got) != string(content) {
+		t.Error("Copy did not reproduce contents")
+	}
+	z := m.Heap.Alloc(32)
+	m.Fill(z, 32, m.Const(0xAB))
+	for _, b := range m.Mem.ReadBytes(z, 32) {
+		if b != 0xAB {
+			t.Fatalf("Fill wrote %#x", b)
+		}
+	}
+	w := m.Heap.Alloc(11)
+	m.WriteData(w, []byte("hello world"))
+	if got := m.Mem.ReadBytes(w, 11); string(got) != "hello world" {
+		t.Errorf("WriteData = %q", got)
+	}
+}
+
+func TestScanVisitsAllChunks(t *testing.T) {
+	m := newTestMachine(t)
+	base := m.Heap.Alloc(30)
+	m.StaticData(base, []byte("abcdefghijklmnopqrstuvwxyz1234"))
+	lenReg := m.Const(30)
+	var offs []int
+	var total int
+	m.Scan("scan", base, lenReg, 8, func(off int, data isa.Reg) {
+		offs = append(offs, off)
+		total += 8
+	})
+	want := []int{0, 8, 16, 24}
+	if len(offs) != len(want) {
+		t.Fatalf("offsets = %v, want %v", offs, want)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offs, want)
+		}
+	}
+	// First chunk register should hold the first 8 bytes little-endian.
+}
+
+func TestScanPCStability(t *testing.T) {
+	m := newTestMachine(t)
+	fn := m.Func("scanner", "test")
+	base := m.Heap.Alloc(64)
+	runPCs := func() map[uint32]bool {
+		start := len(m.Tr.Recs)
+		m.Call(fn, func() {
+			m.Scan("s", base, m.Imm(64), 8, func(off int, data isa.Reg) {})
+		})
+		pcs := map[uint32]bool{}
+		for _, r := range m.Tr.Recs[start:] {
+			if r.Func() == fn.ID { // root-frame call/ret sites are not part of the loop
+				pcs[r.PC] = true
+			}
+		}
+		return pcs
+	}
+	a := runPCs()
+	b := runPCs()
+	// Loop iterations must reuse sites: the distinct-PC count should be
+	// small (a handful of loop-body sites), not proportional to iterations.
+	if len(a) > 20 {
+		t.Errorf("scan used %d distinct PCs; loop sites are not being reused", len(a))
+	}
+	for pc := range b {
+		if !a[pc] {
+			t.Errorf("second run used new PC %#x", pc)
+		}
+	}
+}
+
+func TestThreadRootFramesAndValidate(t *testing.T) {
+	m := New()
+	m.Thread(3, "Compositor")
+	m.Switch(3)
+	m.Const(5)
+	r := m.Tr.Recs[0]
+	if r.TID != 3 {
+		t.Errorf("TID = %d", r.TID)
+	}
+	if m.Tr.FuncName(r.Func()) != "thread_root:Compositor" {
+		t.Errorf("root frame func = %q", m.Tr.FuncName(r.Func()))
+	}
+	if m.Tr.Namespace(r.Func()) != "base/threading" {
+		t.Errorf("root frame namespace = %q", m.Tr.Namespace(r.Func()))
+	}
+}
+
+func TestDuplicateThreadPanics(t *testing.T) {
+	m := New()
+	m.Thread(0, "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected duplicate-thread panic")
+		}
+	}()
+	m.Thread(0, "b")
+}
+
+func TestBookkeepTouchesCounter(t *testing.T) {
+	m := newTestMachine(t)
+	c := m.Heap.Alloc(4)
+	m.Bookkeep(c, 5)
+	if v := m.Mem.ReadU64(c, 4); v != 5 {
+		t.Errorf("counter = %d, want 5", v)
+	}
+}

@@ -1,0 +1,218 @@
+package vmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	data := []byte("hello, web world")
+	m.WriteBytes(0x1000_0000, data)
+	got := m.ReadBytes(0x1000_0000, len(data))
+	if !bytes.Equal(got, data) {
+		t.Errorf("round trip = %q, want %q", got, data)
+	}
+}
+
+func TestMemoryCrossPageWrite(t *testing.T) {
+	m := NewMemory()
+	a := Addr(PageSize - 3) // straddles a page boundary
+	data := []byte{1, 2, 3, 4, 5, 6}
+	m.WriteBytes(a, data)
+	if got := m.ReadBytes(a, 6); !bytes.Equal(got, data) {
+		t.Errorf("cross-page round trip = %v, want %v", got, data)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestMemoryUnmappedReadsZero(t *testing.T) {
+	m := NewMemory()
+	got := m.ReadBytes(0xDEAD_0000, 8)
+	if !bytes.Equal(got, make([]byte, 8)) {
+		t.Errorf("unmapped read = %v, want zeros", got)
+	}
+	if v := m.ReadU64(0xDEAD_0000, 8); v != 0 {
+		t.Errorf("unmapped ReadU64 = %d, want 0", v)
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(a uint32, v uint64, szRaw uint8) bool {
+		sz := int(szRaw%8) + 1
+		addr := Addr(a)
+		m.WriteU64(addr, sz, v)
+		got := m.ReadU64(addr, sz)
+		want := v
+		if sz < 8 {
+			want = v & ((1 << (8 * uint(sz))) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestU64LittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.WriteU64(100, 4, 0x04030201)
+	if got := m.ReadBytes(100, 4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("bytes = %v, want little-endian 1..4", got)
+	}
+}
+
+func TestBadSizesPanic(t *testing.T) {
+	m := NewMemory()
+	for _, f := range []func(){
+		func() { m.ReadU64(0, 0) },
+		func() { m.ReadU64(0, 9) },
+		func() { m.WriteU64(0, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for bad size")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArenaAllocation(t *testing.T) {
+	a := NewArena("test", HeapBase, 1024)
+	p1 := a.Alloc(10)
+	p2 := a.Alloc(1)
+	if p1 != HeapBase {
+		t.Errorf("first alloc = %#x, want %#x", p1, HeapBase)
+	}
+	if p2 != HeapBase+16 {
+		t.Errorf("second alloc = %#x, want 8-aligned %#x", p2, HeapBase+16)
+	}
+	if a.Used() != 24 {
+		t.Errorf("Used = %d, want 24", a.Used())
+	}
+	if a.Base() != HeapBase {
+		t.Errorf("Base = %#x", a.Base())
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena("tiny", 0x1000, 16)
+	a.Alloc(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected exhaustion panic")
+		}
+	}()
+	a.Alloc(1)
+}
+
+func TestStackForDistinct(t *testing.T) {
+	seen := map[Addr]bool{}
+	for tid := uint8(0); tid < 16; tid++ {
+		b := StackFor(tid)
+		if seen[b] {
+			t.Errorf("duplicate stack base %#x for tid %d", b, tid)
+		}
+		seen[b] = true
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{100, 10}
+	if r.End() != 110 {
+		t.Errorf("End = %d", r.End())
+	}
+	if !r.Contains(100) || !r.Contains(109) || r.Contains(110) || r.Contains(99) {
+		t.Error("Contains boundaries wrong")
+	}
+	if !r.Overlaps(Range{109, 5}) || r.Overlaps(Range{110, 5}) || r.Overlaps(Range{90, 10}) {
+		t.Error("Overlaps boundaries wrong")
+	}
+	if r.Overlaps(Range{100, 0}) {
+		t.Error("empty range should not overlap")
+	}
+	if r.String() == "" {
+		t.Error("Range should print")
+	}
+}
+
+func TestRangeSetMerging(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{10, 5}) // [10,15)
+	s.Add(Range{20, 5}) // [20,25)
+	s.Add(Range{15, 5}) // joins the two: [10,25)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 merged range; got %v", s.Len(), s.Ranges())
+	}
+	if s.Bytes() != 15 {
+		t.Errorf("Bytes = %d, want 15", s.Bytes())
+	}
+	if !s.Contains(Range{10, 15}) {
+		t.Error("should contain the merged range")
+	}
+	if s.Contains(Range{10, 16}) {
+		t.Error("should not contain beyond the merge")
+	}
+	if !s.Overlaps(Range{24, 10}) || s.Overlaps(Range{25, 10}) {
+		t.Error("Overlaps boundaries wrong")
+	}
+}
+
+func TestRangeSetDisjointAndEmpty(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{100, 0}) // ignored
+	if s.Len() != 0 {
+		t.Error("empty range should be ignored")
+	}
+	s.Add(Range{50, 2})
+	s.Add(Range{10, 2})
+	s.Add(Range{30, 2})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	rs := s.Ranges()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].End() > rs[i].Addr {
+			t.Errorf("ranges not sorted/disjoint: %v", rs)
+		}
+	}
+}
+
+func TestRangeSetPropertyNormalized(t *testing.T) {
+	// Property: after arbitrary adds, ranges are sorted, disjoint,
+	// non-adjacent-mergeable, and every added byte is covered.
+	f := func(raw []uint16) bool {
+		var s RangeSet
+		var added []Range
+		for i := 0; i+1 < len(raw); i += 2 {
+			r := Range{Addr(raw[i]), uint32(raw[i+1] % 64)}
+			s.Add(r)
+			added = append(added, r)
+		}
+		rs := s.Ranges()
+		for i := range rs {
+			if rs[i].Size == 0 {
+				return false
+			}
+			if i > 0 && rs[i-1].End() >= rs[i].Addr {
+				return false // overlapping or adjacent (should have merged)
+			}
+		}
+		for _, r := range added {
+			if r.Size > 0 && !s.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

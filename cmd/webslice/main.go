@@ -24,7 +24,8 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "workload scale (1.0 = calibrated benchmark size)")
-	exp := fs.String("exp", "all", "experiment: table1|table2|fig2|fig4|fig5|bingload|criteria|all")
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig2|fig4|fig5|bingload|criteria|faults|all")
+	faultSeed := fs.Uint64("faultseed", 7, "fault-plan seed for -exp faults")
 	site := fs.String("site", "amazon-desktop", "site: amazon-desktop|amazon-mobile|maps|bing")
 	tracePath := fs.String("o", "", "write the binary trace to this path (trace command)")
 	in := fs.String("i", "", "read a binary trace from this path")
@@ -35,7 +36,7 @@ func main() {
 	var err error
 	switch cmd {
 	case "repro":
-		err = repro(*scale, *exp)
+		err = repro(*scale, *exp, *faultSeed)
 	case "trace":
 		err = doTrace(*scale, *site, *tracePath)
 	case "slice":
@@ -70,7 +71,8 @@ commands:
   cpu        Figure 2 only (main-thread CPU utilization)
   calibrate  print per-thread statistics for tuning workload knobs
 
-flags: -scale 1.0 (workload size), -exp all, -site amazon-desktop, -o/-i trace path`)
+flags: -scale 1.0 (workload size), -exp all, -site amazon-desktop, -o/-i trace path,
+       -faultseed 7 (fault-plan seed for -exp faults)`)
 }
 
 func benchByName(name string, scale float64, browse bool) (sites.Benchmark, error) {
@@ -90,7 +92,12 @@ func benchByName(name string, scale float64, browse bool) (sites.Benchmark, erro
 	}
 }
 
-func repro(scale float64, exp string) error {
+func repro(scale float64, exp string, faultSeed uint64) error {
+	switch exp {
+	case "all", "table1", "table2", "fig2", "fig4", "fig5", "bingload", "criteria", "faults":
+	default:
+		return fmt.Errorf("unknown experiment %q (want table1|table2|fig2|fig4|fig5|bingload|criteria|faults|all)", exp)
+	}
 	all := exp == "all"
 	var runs []*experiments.Run
 	needRuns := all || exp == "table2" || exp == "fig4" || exp == "fig5" || exp == "bingload" || exp == "criteria"
@@ -134,6 +141,20 @@ func repro(scale float64, exp string) error {
 		fmt.Printf("  slicing from the end of the session:  %.1f%% of load-time instructions in slice\n", res.FullSessionPct)
 		fmt.Printf("  (browsing makes %.1f%% more of the load work useful; the paper measured 49.8%% vs 50.6%%)\n\n",
 			res.FullSessionPct-res.LoadOnlyPct)
+	}
+	if all || exp == "faults" {
+		fmt.Printf("Running fault-injection pairs (clean + faulty) at scale %.2f, seed %d...\n\n", scale, faultSeed)
+		pairs, err := experiments.ExecuteFaults(scale, faultSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FaultsTable(pairs, faultSeed).String())
+		for _, p := range pairs {
+			for _, d := range p.Faulty.Browser.Degraded {
+				fmt.Printf("  %s: degraded: %s\n", p.Name, d)
+			}
+		}
+		fmt.Println()
 	}
 	if all || exp == "criteria" {
 		t := &report.Table{

@@ -39,7 +39,7 @@ func CategoryOf(namespace string) string {
 		return "Graphics"
 	case ns.CSS, ns.Layout:
 		return "CSS"
-	case ns.Loop, ns.Net:
+	case ns.Loop, ns.Net, ns.NetError:
 		return "Other"
 	default:
 		return ""
@@ -130,6 +130,56 @@ func UnusedBytes(b *browser.Browser) ByteUsage {
 func isToplevel(name string) bool {
 	const suffix = "::toplevel"
 	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// FaultWasteResult measures the error-handling work of one run: instructions
+// attributed to the net/error namespace (timeouts, retries, backoff
+// computation, partial-body scans, stale-response discards, failure
+// bookkeeping), split by whether the pixel slice needed them. Error-path work
+// is almost entirely waste by the paper's criterion — it produced no pixels —
+// and this quantifies how much a degraded network inflates the unnecessary
+// fraction relative to a clean load.
+type FaultWasteResult struct {
+	// ErrorPathInstr counts net/error-namespace instructions.
+	ErrorPathInstr int
+	// InSlice / OutOfSlice split ErrorPathInstr by pixel-slice membership.
+	InSlice, OutOfSlice int
+	// Total is the whole trace length, for fractions.
+	Total int
+}
+
+// ErrorPathPct is the error-path share of the whole trace, in percent.
+func (f FaultWasteResult) ErrorPathPct() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return 100 * float64(f.ErrorPathInstr) / float64(f.Total)
+}
+
+// WastedPct is the fraction of error-path instructions outside the slice.
+func (f FaultWasteResult) WastedPct() float64 {
+	if f.ErrorPathInstr == 0 {
+		return 0
+	}
+	return 100 * float64(f.OutOfSlice) / float64(f.ErrorPathInstr)
+}
+
+// FaultWaste scans a trace for net/error-namespace instructions and splits
+// them by pixel-slice membership.
+func FaultWaste(t *trace.Trace, res *slicer.Result) FaultWasteResult {
+	out := FaultWasteResult{Total: t.Len()}
+	for i := range t.Recs {
+		if t.Namespace(t.Recs[i].Func()) != ns.NetError {
+			continue
+		}
+		out.ErrorPathInstr++
+		if res.InSlice.Get(i) {
+			out.InSlice++
+		} else {
+			out.OutOfSlice++
+		}
+	}
+	return out
 }
 
 // CPUPoint is one utilization sample.

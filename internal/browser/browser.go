@@ -117,16 +117,22 @@ type Browser struct {
 	nextRaster  int
 	pendingCode int
 	pendingImgs int
+	scriptQueue []*pendingScript
+	scriptNext  int
 	firstPaint  bool
 	loaded      bool
 	loadDone    func()
 	poolThreads []uint8
 	nextPool    int
 
-	hitTestFn, dispatchFn, updateFn, gcFn *vm.Fn
+	hitTestFn, dispatchFn, updateFn, gcFn, brokenImgFn *vm.Fn
 
 	// Errors collects non-fatal pipeline errors (JS failures etc.).
 	Errors []error
+	// Degraded lists resources whose fetch ultimately failed and around
+	// which the engine degraded gracefully (stylesheet skipped, script
+	// skipped, image replaced by a placeholder box).
+	Degraded []string
 }
 
 // New builds a browser for a site. The traced machine, threads, and all
@@ -169,6 +175,7 @@ func New(site *content.Site, profile Profile) *Browser {
 		dispatchFn:  m.Func("blink::EventDispatcher::Dispatch", ""),
 		updateFn:    m.Func("blink::LocalFrameView::UpdateLifecyclePhases", ns.Layout),
 		gcFn:        m.Func("v8::internal::Heap::CollectGarbage", ns.V8),
+		brokenImgFn: m.Func("blink::ImageResourceContent::NotifyDecodeError", ns.NetError),
 		poolThreads: poolThreads,
 	}
 	b.Loader = net.NewLoader(m, s, site, IOThread)
@@ -197,19 +204,22 @@ func (b *Browser) Load(onLoaded func()) {
 	// 60 Hz BeginFrame ticks run from navigation on; most of their cost
 	// materializes once the first layer tree is committed.
 	b.scheduleIdleFrames()
-	b.Loader.Fetch(b.Site.URL, func(body vmem.Range) {
-		b.onHTML(body)
+	b.Loader.Fetch(b.Site.URL, func(resp net.Response) {
+		b.onHTML(resp)
 	})
 	b.S.Run()
 }
 
 // onHTML parses the main document and kicks off subresource fetches.
-func (b *Browser) onHTML(body vmem.Range) {
+func (b *Browser) onHTML(resp net.Response) {
 	doc, _ := b.Site.Get(b.Site.URL)
-	if doc == nil || body.Size == 0 {
-		b.Errors = append(b.Errors, fmt.Errorf("browser: no document for %s", b.Site.URL))
+	if doc == nil || !resp.OK() || resp.Body.Size == 0 {
+		// The main document is the one resource the engine cannot degrade
+		// around: without it there is nothing to render.
+		b.Errors = append(b.Errors, fmt.Errorf("browser: no document for %s (status %d)", b.Site.URL, resp.Status))
 		return
 	}
+	body := resp.Body
 	b.Debug.Histogram(uint64(body.Size))
 	b.htmlRes = b.Parser.Parse(b.DOM, body, string(doc.Body))
 	b.IPC.Send("FrameHostMsg_DidFinishDocumentLoad", b.Profile.IPCPayload)
@@ -221,30 +231,42 @@ func (b *Browser) onHTML(body vmem.Range) {
 		} else if st.URL != "" {
 			b.pendingCode++
 			url := st.URL
-			b.Loader.Fetch(url, func(rng vmem.Range) {
-				if r, ok := b.Site.Get(url); ok && rng.Size > 0 {
-					b.CSS.Parse(rng, string(r.Body))
+			b.Loader.Fetch(url, func(resp net.Response) {
+				if r, ok := b.Site.Get(url); ok && resp.OK() && resp.Body.Size > 0 {
+					b.CSS.Parse(resp.Body, string(r.Body))
+				} else if !resp.OK() {
+					// Render without the stylesheet rather than aborting
+					// the load.
+					b.degrade("stylesheet", url, resp)
 				}
-				b.backgroundCleanup(rng)
+				b.backgroundCleanup(resp.Body)
 				b.codeDone()
 			})
 		}
 	}
-	// Scripts: fetch external ones; compile+run in document order once each
-	// arrives (approximating parser-blocking execution order).
+	// Scripts: fetch external ones concurrently but compile+run strictly in
+	// document order (parser-blocking execution order). A script delayed by
+	// retries must not let a later script that references its functions
+	// compile first, so arrivals queue until every earlier script settled.
 	for i := range b.htmlRes.Scripts {
 		sc := &b.htmlRes.Scripts[i]
 		if sc.Inline != "" && sc.Inline != "\x00pending" {
 			b.compileAndRun("inline", sc.Src, sc.Inline)
 		} else if sc.URL != "" {
 			b.pendingCode++
+			ps := &pendingScript{url: sc.URL}
+			b.scriptQueue = append(b.scriptQueue, ps)
 			url := sc.URL
-			b.Loader.Fetch(url, func(rng vmem.Range) {
-				if r, ok := b.Site.Get(url); ok && rng.Size > 0 {
-					b.compileAndRun(url, rng, string(r.Body))
+			b.Loader.Fetch(url, func(resp net.Response) {
+				ps.settled = true
+				if r, ok := b.Site.Get(url); ok && resp.OK() && resp.Body.Size > 0 {
+					ps.ok, ps.body, ps.src = true, resp.Body, string(r.Body)
+				} else if !resp.OK() {
+					// Skip the failed script without aborting the load.
+					b.degrade("script", url, resp)
 				}
-				b.backgroundCleanup(rng)
-				b.codeDone()
+				b.backgroundCleanup(resp.Body)
+				b.pumpScripts()
 			})
 		}
 	}
@@ -260,11 +282,21 @@ func (b *Browser) onHTML(body vmem.Range) {
 		}
 		b.pendingImgs++
 		node := im.Node
-		b.Loader.Fetch(im.URL, func(rng vmem.Range) {
-			if rng.Size == 0 {
+		url := im.URL
+		b.Loader.Fetch(url, func(resp net.Response) {
+			if !resp.OK() {
+				// Paint a placeholder box where the image would have been.
+				b.degrade("image", url, resp)
+				b.markImageBroken(node)
+				b.rootDamage = true
 				b.imageDone()
 				return
 			}
+			if resp.Body.Size == 0 {
+				b.imageDone()
+				return
+			}
+			rng := resp.Body
 			b.backgroundCleanup(rng)
 			worker := b.rasterThread()
 			b.S.Post(worker, ns.Skia+"!ImageDecodeTask", func() {
@@ -276,6 +308,7 @@ func (b *Browser) onHTML(body vmem.Range) {
 				m := b.M
 				m.StoreU32(node.Addr+dom.OffImage, m.Imm(uint64(dec.Addr)))
 				m.StoreU32(node.Addr+dom.OffImageLen, m.Imm(uint64(dec.Size)))
+				m.StoreU32(node.Addr+dom.OffImageState, m.Imm(dom.ImageReady))
 				b.S.Post(MainThread, ns.Net+"!ImageResourceContent::UpdateImage", func() {
 					b.rootDamage = true
 					b.imageDone()
@@ -284,6 +317,30 @@ func (b *Browser) onHTML(body vmem.Range) {
 		})
 	}
 	if b.pendingCode == 0 {
+		b.codeDone()
+	}
+}
+
+// pendingScript is one external script awaiting in-order execution.
+type pendingScript struct {
+	url     string
+	settled bool
+	ok      bool
+	body    vmem.Range
+	src     string
+}
+
+// pumpScripts executes every settled script at the head of the document-order
+// queue. Scripts fetch concurrently, but one delayed by retries holds back
+// all later scripts until it settles (succeeds or exhausts its retry budget),
+// so cross-script references still resolve under network faults.
+func (b *Browser) pumpScripts() {
+	for b.scriptNext < len(b.scriptQueue) && b.scriptQueue[b.scriptNext].settled {
+		ps := b.scriptQueue[b.scriptNext]
+		b.scriptNext++
+		if ps.ok {
+			b.compileAndRun(ps.url, ps.body, ps.src)
+		}
 		b.codeDone()
 	}
 }
@@ -314,6 +371,28 @@ func (b *Browser) imageDone() {
 	if b.pendingImgs == 0 && b.pendingCode == 0 {
 		b.renderPipeline(true)
 	}
+}
+
+// degrade records a resource failure the engine rendered around: the note
+// lands in Degraded (not Errors — the load still completes) and is surfaced
+// through the traced debug log, as Chromium logs failed fetches to the
+// console.
+func (b *Browser) degrade(kind, url string, resp net.Response) {
+	b.Degraded = append(b.Degraded,
+		fmt.Sprintf("%s %s failed (status %d after %d attempts); rendered without it", kind, url, resp.Status, resp.Attempts))
+	b.Debug.TraceEvent(0xDE6D)
+	b.Debug.Histogram(uint64(resp.Attempts))
+}
+
+// markImageBroken flags an img node whose fetch failed so paint draws the
+// placeholder box (traced store: the placeholder's provenance includes the
+// error path that caused it).
+func (b *Browser) markImageBroken(n *dom.Node) {
+	m := b.M
+	m.Call(b.brokenImgFn, func() {
+		m.At("broken")
+		m.StoreU32(n.Addr+dom.OffImageState, m.Imm(dom.ImageBroken))
+	})
 }
 
 // compileAndRun eagerly compiles a script (traced against its source bytes)
@@ -417,18 +496,22 @@ func (b *Browser) Browse() {
 	for _, r := range b.Site.BrowseResources {
 		res := r
 		b.S.PostAt(MainThread, ns.Net+"!DeferredFetch", at/2, func() {
-			b.Loader.FetchResource(res, func(rng vmem.Range) {
-				if rng.Size == 0 {
+			b.Loader.FetchResource(res, func(resp net.Response) {
+				if !resp.OK() {
+					b.degrade("browse resource", res.URL, resp)
+					return
+				}
+				if resp.Body.Size == 0 {
 					return
 				}
 				switch res.Type {
 				case content.JS:
-					b.compileAndRun(res.URL, rng, string(res.Body))
+					b.compileAndRun(res.URL, resp.Body, string(res.Body))
 					if b.dirty() {
 						b.renderPipeline(false)
 					}
 				case content.CSS:
-					b.CSS.Parse(rng, string(res.Body))
+					b.CSS.Parse(resp.Body, string(res.Body))
 				}
 			})
 		})

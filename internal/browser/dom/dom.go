@@ -33,6 +33,18 @@ const (
 	OffLayerID    = 44 // u32 compositor layer id + 1 (0 = in parent layer)
 	OffImage      = 48 // u32 decoded-image addr (img elements)
 	OffImageLen   = 52 // u32
+	OffImageState = 56 // u32 ImageState (img elements)
+)
+
+// ImageState values stored at OffImageState.
+const (
+	// ImagePending means no decode has completed (initial state).
+	ImagePending = 0
+	// ImageReady means a decoded buffer is installed at OffImage.
+	ImageReady = 1
+	// ImageBroken means the resource fetch ultimately failed; paint draws a
+	// placeholder box instead of image content.
+	ImageBroken = 2
 )
 
 // NodeType distinguishes element and text nodes.

@@ -15,9 +15,39 @@ import (
 	"webslice/internal/vmem"
 )
 
+// HTTP-ish status codes the simulated stack reports to callers.
+const (
+	// StatusNetError marks a transport failure: the retry budget ran out on
+	// timeouts or connection errors and no response was ever completed.
+	StatusNetError = 0
+	// StatusOK is a complete successful delivery.
+	StatusOK = 200
+	// StatusNotFound is the explicit missing-resource status (previously an
+	// unknown URL was indistinguishable from an empty 200 body).
+	StatusNotFound = 404
+	// StatusServerError is the injected 5xx.
+	StatusServerError = 503
+)
+
+// Response is the terminal outcome of a Fetch: the delivered body (zero for
+// failures and empty bodies), the final status, and how many attempts the
+// loader spent getting there.
+type Response struct {
+	Body     vmem.Range
+	Status   int
+	Attempts int
+	// TimedOut reports whether any attempt hit the per-request timeout.
+	TimedOut bool
+}
+
+// OK reports a successful delivery.
+func (r Response) OK() bool { return r.Status == StatusOK }
+
 // Loader fetches resources for one site over the simulated network. All
 // socket work runs on the IO thread; completion callbacks are posted to the
-// requesting thread.
+// requesting thread. With a FaultPlan attached, the loader survives injected
+// faults via traced retry/timeout/backoff handling under the net/error
+// namespace.
 type Loader struct {
 	M    *vm.Machine
 	S    *sched.Scheduler
@@ -26,6 +56,9 @@ type Loader struct {
 	IOThread uint8
 
 	sendFn, recvFn, parseFn, gunzipFn, cacheFn *vm.Fn
+	// Error-path symbols, all under ns.NetError so the faults experiment can
+	// slice them out of the trace.
+	timeoutFn, resetFn, truncFn, http5xxFn, backoffFn, retryFn, failFn, staleFn, notFoundFn *vm.Fn
 
 	// ChunkBytes is the socket read granularity (one recvfrom per chunk).
 	ChunkBytes int
@@ -33,10 +66,30 @@ type Loader struct {
 	// bookkeeping whose output nothing user-visible reads.
 	WastePasses int
 
+	// Faults is the injected fault plan; nil fetches fair-weather.
+	Faults *FaultPlan
+	// Retry is the client fault-handling policy.
+	Retry RetryPolicy
+
+	rng splitmix64
+	// backoffCell is the traced cell the backoff computation writes.
+	backoffCell vmem.Addr
+
 	// Fetched maps URL -> heap address and size of the delivered body.
 	Fetched map[string]vmem.Range
 	// BytesFetched totals delivered body bytes.
 	BytesFetched int
+
+	// Stats of the fault-handling path.
+	Attempts     int // request attempts sent
+	Retries      int // attempts beyond the first
+	Timeouts     int // attempts that hit the per-request timeout
+	Resets       int // connection resets observed
+	Truncations  int // content-length mismatches observed
+	ServerErrors int // 5xx responses observed
+	NotFound     int // 404s observed
+	Failures     int // fetches that exhausted the retry budget
+	FailedURLs   []string
 }
 
 // NewLoader wires a loader to the machine, scheduler and site.
@@ -51,22 +104,42 @@ func NewLoader(m *vm.Machine, s *sched.Scheduler, site *content.Site, ioThread u
 		parseFn:     m.Func("net::HttpResponseHeaders::Parse", ns.Net),
 		gunzipFn:    m.Func("net::GZipSourceStream::FilterData", ns.Net),
 		cacheFn:     m.Func("net::disk_cache::EntryImpl::WriteData", ns.Net),
+		timeoutFn:   m.Func("net::URLRequest::OnConnectionTimeout", ns.NetError),
+		resetFn:     m.Func("net::HttpStreamParser::OnConnectionReset", ns.NetError),
+		truncFn:     m.Func("net::HttpStreamParser::OnContentLengthMismatch", ns.NetError),
+		http5xxFn:   m.Func("net::URLRequestHttpJob::OnServerError", ns.NetError),
+		backoffFn:   m.Func("net::BackoffEntry::InformOfRequest", ns.NetError),
+		retryFn:     m.Func("net::URLRequestHttpJob::RestartTransaction", ns.NetError),
+		failFn:      m.Func("net::URLRequest::NotifyFailure", ns.NetError),
+		staleFn:     m.Func("net::URLLoader::DiscardStaleResponse", ns.NetError),
+		notFoundFn:  m.Func("net::URLRequestHttpJob::OnNotFound", ns.NetError),
 		ChunkBytes:  16 << 10,
 		WastePasses: 1,
+		Retry:       DefaultRetryPolicy(),
+		rng:         splitmix64{state: 1},
+		backoffCell: m.Heap.Alloc(8),
 		Fetched:     make(map[string]vmem.Range),
 	}
 }
 
-// Fetch requests a resource and invokes done(bodyAddr, bodyLen) on the
-// requesting thread once it has arrived. Unknown URLs invoke done with a
-// zero range after the latency (a 404 with an empty body).
-func (l *Loader) Fetch(url string, done func(body vmem.Range)) {
+// SetFaults attaches a fault plan and seeds the jitter generator from it.
+func (l *Loader) SetFaults(p *FaultPlan) {
+	l.Faults = p
+	if p != nil {
+		l.rng = splitmix64{state: p.Seed | 1}
+	}
+}
+
+// Fetch requests a resource and invokes done on the requesting thread once
+// the fetch settles: a complete body (StatusOK), an explicit StatusNotFound
+// for unknown URLs, or a failure status after the retry budget is spent.
+func (l *Loader) Fetch(url string, done func(Response)) {
 	l.fetchRes(l.lookup(url), url, done)
 }
 
 // FetchResource requests an explicit resource (used for browse-time
 // downloads that are not part of the site's load-time resource map).
-func (l *Loader) FetchResource(r *content.Resource, done func(body vmem.Range)) {
+func (l *Loader) FetchResource(r *content.Resource, done func(Response)) {
 	l.fetchRes(r, r.URL, done)
 }
 
@@ -77,48 +150,247 @@ func (l *Loader) lookup(url string) *content.Resource {
 	return nil
 }
 
-func (l *Loader) fetchRes(res *content.Resource, url string, done func(body vmem.Range)) {
-	m := l.M
-	from := m.Cur().ID
+// request tracks one Fetch across its attempts.
+type request struct {
+	res      *content.Resource
+	url      string
+	from     uint8 // requesting thread, where done runs
+	done     func(Response)
+	attempt  int
+	timedOut bool
+}
+
+func (l *Loader) fetchRes(res *content.Resource, url string, done func(Response)) {
+	from := l.M.Cur().ID
+	rq := &request{res: res, url: url, from: from, done: done}
 	l.S.Post(l.IOThread, ns.Net+"!URLLoader::Start", func() {
-		// Serialize the request line into an IO buffer and send it.
-		req := m.IOb.Alloc(len(url) + 16)
-		m.Call(l.sendFn, func() {
-			m.WriteData(req, []byte("GET "+url))
-			m.Syscall(isa.SysSendto, isa.RegNone, isa.RegNone,
-				[]vmem.Range{{Addr: req, Size: uint32(len(url) + 4)}}, nil, nil)
-		})
-		latency := 40
-		var body []byte
-		if res != nil {
-			body = res.Body
-			if res.LatencyMs > 0 {
-				latency = res.LatencyMs
-			}
-		}
-		// Response arrives after the latency, still on the IO thread.
-		l.S.PostDelayed(l.IOThread, ns.Net+"!URLLoader::OnResponse", uint64(latency)*sched.CyclesPerMs, func() {
-			var rng vmem.Range
-			if len(body) > 0 {
-				rng = l.receive(url, body)
-			}
-			// Hand the body to the requesting thread.
-			l.S.Post(from, ns.Net+"!URLLoader::DidReceiveResponse", func() {
-				done(rng)
-			})
-		})
+		l.attempt(rq)
 	})
 }
 
-// receive pulls the response off the socket in ChunkBytes reads, parses the
-// headers, "decompresses" the payload into its final buffer (16-byte-chunk
-// traced transform — the buffer every parser consumes, so network input has
-// full provenance), and performs the disk-cache write and checksum
-// bookkeeping whose results nothing ever reads.
-func (l *Loader) receive(url string, body []byte) vmem.Range {
+// attempt sends the request once and arms the per-attempt timeout. It runs
+// on the IO thread.
+func (l *Loader) attempt(rq *request) {
+	m := l.M
+	rq.attempt++
+	l.Attempts++
+	// Serialize the request line into an IO buffer and send it.
+	req := m.IOb.Alloc(len(rq.url) + 16)
+	m.Call(l.sendFn, func() {
+		m.WriteData(req, []byte("GET "+rq.url))
+		m.Syscall(isa.SysSendto, isa.RegNone, isa.RegNone,
+			[]vmem.Range{{Addr: req, Size: uint32(len(rq.url) + 4)}}, nil, nil)
+	})
+
+	var fault Fault
+	if f, ok := l.Faults.Get(rq.url); ok && f.active(rq.attempt) {
+		fault = f
+	}
+	latency := 40
+	if rq.res != nil && rq.res.LatencyMs > 0 {
+		latency = rq.res.LatencyMs
+	}
+	if fault.Kind == FaultSlow {
+		latency += fault.ExtraLatencyMs
+	}
+
+	// Arm the timeout on the virtual clock. If the response wins the race it
+	// cancels the timer; if the timer wins, the attempt is abandoned and any
+	// late response is discarded as stale.
+	settled := false
+	var timer *sched.Timer
+	if l.Retry.TimeoutMs > 0 {
+		timer = l.S.PostDelayedCancellable(l.IOThread, ns.NetError+"!URLRequest::ConnectionTimeout",
+			uint64(l.Retry.TimeoutMs)*sched.CyclesPerMs, func() {
+				if settled {
+					return
+				}
+				settled = true
+				rq.timedOut = true
+				l.Timeouts++
+				m.Call(l.timeoutFn, func() {
+					// Deadline check the watchdog pays on every firing.
+					m.At("deadline")
+					now := m.Imm(m.Cycle() / sched.CyclesPerMs)
+					lim := m.OpImm(isa.OpCmpGE, now, uint64(l.Retry.TimeoutMs))
+					m.Branch(lim)
+				})
+				l.retryOrFail(rq, StatusNetError)
+			})
+	}
+
+	if fault.Kind == FaultDrop {
+		// The request vanishes: nothing to schedule. Without a timeout the
+		// fetch would hang forever, so treat that configuration as an
+		// immediate transport failure.
+		if timer == nil {
+			l.retryOrFail(rq, StatusNetError)
+		}
+		return
+	}
+
+	// Response arrives after the latency, still on the IO thread.
+	l.S.PostDelayed(l.IOThread, ns.Net+"!URLLoader::OnResponse", uint64(latency)*sched.CyclesPerMs, func() {
+		if settled {
+			// The timeout already abandoned this attempt: traced stale-
+			// response teardown, then drop it on the floor.
+			m.Call(l.staleFn, func() {
+				m.At("stale")
+				g := m.Imm(uint64(rq.attempt))
+				old := m.OpImm(isa.OpCmpLT, g, uint64(rq.attempt)+1)
+				m.Branch(old)
+			})
+			return
+		}
+		settled = true
+		if timer != nil {
+			timer.Cancel()
+		}
+		l.onResponse(rq, fault)
+	})
+}
+
+// onResponse handles an arrived response according to the attempt's fault.
+func (l *Loader) onResponse(rq *request, fault Fault) {
+	m := l.M
+	if rq.res == nil && (fault.Kind == FaultReset || fault.Kind == FaultTruncate) {
+		fault = Fault{} // no body to corrupt; fall through to the 404 path
+	}
+	switch fault.Kind {
+	case Fault5xx:
+		// Status line parses, carries a 5xx, and the job restarts.
+		l.ServerErrors++
+		hdr := m.IOb.Alloc(32)
+		m.Call(l.parseFn, func() {
+			m.WriteData(hdr, []byte("HTTP/1.1 503"))
+			st := m.Load(hdr+9, 3)
+			bad := m.OpImm(isa.OpCmpGE, st, 0x35) // '5' in the hundreds digit
+			m.Branch(bad)
+		})
+		m.Call(l.http5xxFn, func() {
+			m.At("servererr")
+			c := m.LoadU32(l.backoffCell)
+			m.StoreU32(l.backoffCell, m.AddImm(c, 1))
+		})
+		l.retryOrFail(rq, StatusServerError)
+	case FaultReset:
+		// The first half of the body streams in, then the read fails.
+		l.Resets++
+		body := rq.res.Body
+		part := body[:len(body)/2]
+		partial := l.receiveChunks(part)
+		m.Call(l.resetFn, func() {
+			// Teardown scans the partial buffer for the last complete
+			// record — work a clean delivery never does.
+			m.At("resetscan")
+			sum := m.Imm(0)
+			for off := 0; off < len(part); off += 256 {
+				n := min(8, len(part)-off)
+				v := m.Load(partial+vmem.Addr(off), n)
+				sum = m.Op(isa.OpXor, sum, v)
+			}
+			m.StoreU64(m.IOb.Alloc(8), sum)
+		})
+		l.retryOrFail(rq, StatusNetError)
+	case FaultTruncate:
+		// A short body arrives and decodes; the content-length check
+		// catches the mismatch, wasting the whole partial receive.
+		l.Truncations++
+		body := rq.res.Body
+		part := body[:len(body)*3/4]
+		rng := l.receive(part)
+		m.Call(l.truncFn, func() {
+			m.At("lencheck")
+			got := m.Imm(uint64(rng.Size))
+			short := m.OpImm(isa.OpCmpLT, got, uint64(len(body)))
+			m.Branch(short)
+		})
+		l.retryOrFail(rq, StatusNetError)
+	default: // FaultNone, FaultSlow: a normal (possibly late) response.
+		if rq.res == nil {
+			// Unknown URL: the server answers 404 with an empty body —
+			// now an explicit status callers can distinguish from an
+			// empty success.
+			l.NotFound++
+			hdr := m.IOb.Alloc(32)
+			m.Call(l.parseFn, func() {
+				m.WriteData(hdr, []byte("HTTP/1.1 404"))
+				st := m.Load(hdr+9, 3)
+				miss := m.OpImm(isa.OpCmpNE, st, 0)
+				m.Branch(miss)
+			})
+			m.Call(l.notFoundFn, func() {
+				m.At("notfound")
+				c := m.LoadU32(l.backoffCell)
+				m.Branch(m.OpImm(isa.OpCmpGE, c, 0))
+			})
+			l.deliver(rq, Response{Status: StatusNotFound})
+			return
+		}
+		var rng vmem.Range
+		if len(rq.res.Body) > 0 {
+			rng = l.receive(rq.res.Body)
+		}
+		l.Fetched[rq.url] = rng
+		l.BytesFetched += len(rq.res.Body)
+		l.deliver(rq, Response{Body: rng, Status: StatusOK})
+	}
+}
+
+// retryOrFail restarts the transaction after a traced backoff, or gives up
+// once the budget is spent.
+func (l *Loader) retryOrFail(rq *request, status int) {
+	m := l.M
+	if rq.attempt >= l.Retry.MaxAttempts {
+		l.Failures++
+		l.FailedURLs = append(l.FailedURLs, rq.url)
+		m.Call(l.failFn, func() {
+			m.At("fail")
+			a := m.Imm(uint64(rq.attempt))
+			spent := m.OpImm(isa.OpCmpGE, a, uint64(l.Retry.MaxAttempts))
+			m.Branch(spent)
+		})
+		l.deliver(rq, Response{Status: status})
+		return
+	}
+	l.Retries++
+	backoff := l.Retry.BackoffMs(rq.attempt, l.rng.next())
+	m.Call(l.backoffFn, func() {
+		// Traced exponential-backoff computation: shift the base by the
+		// attempt count, clamp, add the jitter.
+		m.At("backoff")
+		base := m.Imm(uint64(l.Retry.BackoffBaseMs))
+		exp := m.OpImm(isa.OpShl, base, uint64(rq.attempt-1))
+		capd := m.OpImm(isa.OpMin, exp, uint64(max(l.Retry.BackoffMaxMs, l.Retry.BackoffBaseMs)))
+		jit := m.OpImm(isa.OpAdd, capd, uint64(backoff))
+		m.StoreU64(l.backoffCell, jit)
+	})
+	l.S.PostDelayed(l.IOThread, ns.NetError+"!URLRequestHttpJob::RestartTransaction",
+		uint64(backoff)*sched.CyclesPerMs, func() {
+			m.Call(l.retryFn, func() {
+				m.At("restart")
+				b := m.LoadU64(l.backoffCell)
+				m.Branch(m.OpImm(isa.OpCmpGT, b, 0))
+			})
+			l.attempt(rq)
+		})
+}
+
+// deliver hands the terminal response to the requesting thread.
+func (l *Loader) deliver(rq *request, resp Response) {
+	resp.Attempts = rq.attempt
+	resp.TimedOut = rq.timedOut
+	l.S.Post(rq.from, ns.Net+"!URLLoader::DidReceiveResponse", func() {
+		rq.done(resp)
+	})
+}
+
+// receiveChunks pulls body bytes off the socket in ChunkBytes reads and
+// returns the IO buffer they landed in (the shared front half of both the
+// clean receive path and the mid-body reset path).
+func (l *Loader) receiveChunks(body []byte) vmem.Addr {
 	m := l.M
 	compressed := m.IOb.Alloc(len(body))
-	crng := vmem.Range{Addr: compressed, Size: uint32(len(body))}
 	m.Call(l.recvFn, func() {
 		for off := 0; off < len(body); off += l.ChunkBytes {
 			m.At("chunk")
@@ -130,6 +402,18 @@ func (l *Loader) receive(url string, body []byte) vmem.Range {
 			m.Branch(more)
 		}
 	})
+	return compressed
+}
+
+// receive pulls the response off the socket in ChunkBytes reads, parses the
+// headers, "decompresses" the payload into its final buffer (16-byte-chunk
+// traced transform — the buffer every parser consumes, so network input has
+// full provenance), and performs the disk-cache write and checksum
+// bookkeeping whose results nothing ever reads.
+func (l *Loader) receive(body []byte) vmem.Range {
+	m := l.M
+	compressed := l.receiveChunks(body)
+	crng := vmem.Range{Addr: compressed, Size: uint32(len(body))}
 	m.Call(l.parseFn, func() {
 		n := min(len(body), 64)
 		hdr := m.Load(crng.Addr, n)
@@ -175,7 +459,5 @@ func (l *Loader) receive(url string, body []byte) vmem.Range {
 			m.StoreU64(m.IOb.Alloc(8), sum)
 		}
 	})
-	l.Fetched[url] = rng
-	l.BytesFetched += len(body)
 	return rng
 }

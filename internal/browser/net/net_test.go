@@ -1,13 +1,14 @@
 package net
 
 import (
+	"strings"
 	"testing"
 
+	"webslice/internal/browser/ns"
 	"webslice/internal/browser/sched"
 	"webslice/internal/content"
 	"webslice/internal/isa"
 	"webslice/internal/vm"
-	"webslice/internal/vmem"
 )
 
 func setup(t *testing.T) (*vm.Machine, *sched.Scheduler, *Loader, *content.Site) {
@@ -26,14 +27,20 @@ func setup(t *testing.T) (*vm.Machine, *sched.Scheduler, *Loader, *content.Site)
 
 func TestFetchDeliversBody(t *testing.T) {
 	m, s, l, site := setup(t)
-	var got vmem.Range
-	l.Fetch("https://t/r.bin", func(rng vmem.Range) { got = rng })
+	var got Response
+	l.Fetch("https://t/r.bin", func(resp Response) { got = resp })
 	s.Run()
 	want := site.Resources["https://t/r.bin"].Body
-	if int(got.Size) != len(want) {
-		t.Fatalf("size = %d, want %d", got.Size, len(want))
+	if !got.OK() || got.Status != StatusOK {
+		t.Fatalf("status = %d, want %d", got.Status, StatusOK)
 	}
-	if string(m.Mem.ReadBytes(got.Addr, len(want))) != string(want) {
+	if got.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", got.Attempts)
+	}
+	if int(got.Body.Size) != len(want) {
+		t.Fatalf("size = %d, want %d", got.Body.Size, len(want))
+	}
+	if string(m.Mem.ReadBytes(got.Body.Addr, len(want))) != string(want) {
 		t.Error("delivered body corrupted by receive/decompress path")
 	}
 	if l.BytesFetched != len(want) {
@@ -43,7 +50,7 @@ func TestFetchDeliversBody(t *testing.T) {
 
 func TestFetchSyscallAnatomy(t *testing.T) {
 	m, s, l, _ := setup(t)
-	l.Fetch("https://t/r.bin", func(vmem.Range) {})
+	l.Fetch("https://t/r.bin", func(Response) {})
 	s.Run()
 	var sends, recvs int
 	for i, eff := range m.Tr.Sys {
@@ -73,12 +80,18 @@ func TestFetchSyscallAnatomy(t *testing.T) {
 	}
 }
 
-func TestFetchMissingURL(t *testing.T) {
+func TestFetchMissingURLIsExplicit404(t *testing.T) {
 	_, s, l, _ := setup(t)
 	called := false
-	l.Fetch("https://t/404", func(rng vmem.Range) {
+	l.Fetch("https://t/404", func(resp Response) {
 		called = true
-		if rng.Size != 0 {
+		if resp.Status != StatusNotFound {
+			t.Errorf("status = %d, want %d", resp.Status, StatusNotFound)
+		}
+		if resp.OK() {
+			t.Error("a 404 must not look like a success")
+		}
+		if resp.Body.Size != 0 {
 			t.Error("missing resource should deliver an empty range")
 		}
 	})
@@ -86,12 +99,18 @@ func TestFetchMissingURL(t *testing.T) {
 	if !called {
 		t.Error("completion callback must fire even for a 404")
 	}
+	if l.NotFound != 1 {
+		t.Errorf("NotFound = %d", l.NotFound)
+	}
+	if l.Retries != 0 {
+		t.Error("a 404 must not be retried")
+	}
 }
 
 func TestChunkedReceive(t *testing.T) {
 	m, s, l, site := setup(t)
 	l.ChunkBytes = 16
-	l.Fetch("https://t/r.bin", func(vmem.Range) {})
+	l.Fetch("https://t/r.bin", func(Response) {})
 	s.Run()
 	recvs := 0
 	for _, eff := range m.Tr.Sys {
@@ -102,5 +121,197 @@ func TestChunkedReceive(t *testing.T) {
 	wantChunks := (len(site.Resources["https://t/r.bin"].Body) + 15) / 16
 	if recvs != wantChunks {
 		t.Errorf("recvfrom count = %d, want %d 16-byte chunks", recvs, wantChunks)
+	}
+}
+
+// errorPathRecs counts trace records attributed to the net/error namespace.
+func errorPathRecs(m *vm.Machine) int {
+	n := 0
+	for i := range m.Tr.Recs {
+		if m.Tr.Namespace(m.Tr.Recs[i].Func()) == ns.NetError {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDropRecoversViaTimeoutAndRetry(t *testing.T) {
+	m, s, l, site := setup(t)
+	plan := NewFaultPlan(42)
+	plan.Set("https://t/r.bin", Fault{Kind: FaultDrop, Times: 1})
+	l.SetFaults(plan)
+	var got Response
+	start := m.Cycle()
+	l.Fetch("https://t/r.bin", func(resp Response) { got = resp })
+	s.Run()
+	if !got.OK() {
+		t.Fatalf("status = %d after drop+retry, want OK", got.Status)
+	}
+	if got.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", got.Attempts)
+	}
+	if !got.TimedOut {
+		t.Error("the dropped attempt should be flagged as timed out")
+	}
+	if l.Timeouts != 1 || l.Retries != 1 {
+		t.Errorf("Timeouts=%d Retries=%d", l.Timeouts, l.Retries)
+	}
+	want := site.Resources["https://t/r.bin"].Body
+	if int(got.Body.Size) != len(want) {
+		t.Errorf("body size = %d, want %d", got.Body.Size, len(want))
+	}
+	// The virtual clock must have paid the timeout plus a backoff.
+	elapsed := m.Cycle() - start
+	min := uint64(l.Retry.TimeoutMs+l.Retry.BackoffBaseMs) * sched.CyclesPerMs
+	if elapsed < min {
+		t.Errorf("elapsed = %d cycles, want >= %d (timeout+backoff)", elapsed, min)
+	}
+	if errorPathRecs(m) == 0 {
+		t.Error("timeout/retry handling must emit net/error instructions")
+	}
+}
+
+func TestPermanentDropExhaustsBudget(t *testing.T) {
+	_, s, l, _ := setup(t)
+	plan := NewFaultPlan(7)
+	plan.Set("https://t/r.bin", Fault{Kind: FaultDrop, Times: -1})
+	l.SetFaults(plan)
+	var got Response
+	l.Fetch("https://t/r.bin", func(resp Response) { got = resp })
+	s.Run()
+	if got.OK() {
+		t.Fatal("a permanently dropped resource must fail")
+	}
+	if got.Status != StatusNetError {
+		t.Errorf("status = %d, want %d", got.Status, StatusNetError)
+	}
+	if got.Attempts != l.Retry.MaxAttempts {
+		t.Errorf("attempts = %d, want the full budget %d", got.Attempts, l.Retry.MaxAttempts)
+	}
+	if l.Failures != 1 || len(l.FailedURLs) != 1 {
+		t.Errorf("Failures=%d FailedURLs=%v", l.Failures, l.FailedURLs)
+	}
+	if _, ok := l.Fetched["https://t/r.bin"]; ok {
+		t.Error("a failed fetch must not be recorded as fetched")
+	}
+}
+
+func TestResetMidBodyRetries(t *testing.T) {
+	m, s, l, _ := setup(t)
+	plan := NewFaultPlan(3)
+	plan.Set("https://t/r.bin", Fault{Kind: FaultReset, Times: 1})
+	l.SetFaults(plan)
+	var got Response
+	l.Fetch("https://t/r.bin", func(resp Response) { got = resp })
+	s.Run()
+	if !got.OK() || got.Attempts != 2 {
+		t.Fatalf("status=%d attempts=%d, want OK after one retry", got.Status, got.Attempts)
+	}
+	if l.Resets != 1 {
+		t.Errorf("Resets = %d", l.Resets)
+	}
+	// The reset attempt streamed part of the body: more recvfrom bytes than
+	// one clean delivery needs.
+	var recvBytes uint32
+	for _, eff := range m.Tr.Sys {
+		if eff.Num == isa.SysRecvfrom {
+			for _, w := range eff.Writes {
+				recvBytes += w.Size
+			}
+		}
+	}
+	bodyLen := uint32(len("the quick brown fox jumps over the lazy dog, repeatedly and at length"))
+	if recvBytes <= bodyLen {
+		t.Errorf("recv bytes = %d, want > %d (partial receive wasted)", recvBytes, bodyLen)
+	}
+}
+
+func TestTruncateAndServerErrorRetry(t *testing.T) {
+	_, s, l, _ := setup(t)
+	plan := NewFaultPlan(9)
+	plan.Set("https://t/r.bin", Fault{Kind: FaultTruncate, Times: 1})
+	l.SetFaults(plan)
+	var got Response
+	l.Fetch("https://t/r.bin", func(resp Response) { got = resp })
+	s.Run()
+	if !got.OK() || got.Attempts != 2 || l.Truncations != 1 {
+		t.Fatalf("truncate: status=%d attempts=%d truncations=%d", got.Status, got.Attempts, l.Truncations)
+	}
+
+	_, s2, l2, _ := setup(t)
+	plan2 := NewFaultPlan(9)
+	plan2.Set("https://t/r.bin", Fault{Kind: Fault5xx, Times: -1})
+	l2.SetFaults(plan2)
+	var got2 Response
+	l2.Fetch("https://t/r.bin", func(resp Response) { got2 = resp })
+	s2.Run()
+	if got2.OK() || got2.Status != StatusServerError {
+		t.Fatalf("persistent 5xx: status = %d, want %d", got2.Status, StatusServerError)
+	}
+	if l2.ServerErrors != l2.Retry.MaxAttempts {
+		t.Errorf("ServerErrors = %d, want %d", l2.ServerErrors, l2.Retry.MaxAttempts)
+	}
+}
+
+func TestSlowSpikeBeyondTimeoutDiscardsStaleResponse(t *testing.T) {
+	m, s, l, _ := setup(t)
+	plan := NewFaultPlan(5)
+	// Latency 25ms + 3000ms spike > 2000ms timeout: the timer wins, the
+	// retry succeeds, and the stale first response is discarded.
+	plan.Set("https://t/r.bin", Fault{Kind: FaultSlow, Times: 1, ExtraLatencyMs: 3000})
+	l.SetFaults(plan)
+	var got Response
+	l.Fetch("https://t/r.bin", func(resp Response) { got = resp })
+	s.Run()
+	if !got.OK() || got.Attempts != 2 {
+		t.Fatalf("status=%d attempts=%d, want OK on attempt 2", got.Status, got.Attempts)
+	}
+	if l.Timeouts != 1 {
+		t.Errorf("Timeouts = %d", l.Timeouts)
+	}
+	found := false
+	for i := range m.Tr.Recs {
+		if strings.Contains(m.Tr.FuncName(m.Tr.Recs[i].Func()), "DiscardStaleResponse") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("the late response must run the traced stale-discard path")
+	}
+}
+
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	run := func() (int, uint64) {
+		m, s, l, _ := setup(t)
+		plan := NewFaultPlan(1234)
+		plan.Set("https://t/r.bin", Fault{Kind: FaultDrop, Times: 2})
+		l.SetFaults(plan)
+		l.Fetch("https://t/r.bin", func(Response) {})
+		l.Fetch("https://t/404", func(Response) {})
+		s.Run()
+		return len(m.Tr.Recs), m.Cycle()
+	}
+	n1, c1 := run()
+	n2, c2 := run()
+	if n1 != n2 || c1 != c2 {
+		t.Errorf("same seed must reproduce the trace exactly: (%d,%d) vs (%d,%d)", n1, c1, n2, c2)
+	}
+}
+
+func TestBackoffMsGrowsAndCaps(t *testing.T) {
+	p := DefaultRetryPolicy()
+	p.JitterPct = 0
+	if b1, b2 := p.BackoffMs(1, 0), p.BackoffMs(2, 0); b2 <= b1 {
+		t.Errorf("backoff must grow: %d then %d", b1, b2)
+	}
+	if b := p.BackoffMs(20, 0); b > p.BackoffMaxMs {
+		t.Errorf("backoff %d exceeds cap %d", b, p.BackoffMaxMs)
+	}
+	p.JitterPct = 25
+	base := p.BackoffMs(1, 0)
+	jit := p.BackoffMs(1, 24)
+	if jit < base || jit > base+base*25/100 {
+		t.Errorf("jittered backoff %d outside [%d, %d]", jit, base, base+base*25/100)
 	}
 }

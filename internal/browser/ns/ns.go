@@ -28,6 +28,12 @@ const (
 	Loop = "base/message_loop"
 	// Net is the network stack (falls into Other).
 	Net = "net"
+	// NetError is the network error-handling path: retries, backoff
+	// computation, timeout firing, connection-reset recovery, and the
+	// engine-side degradation it triggers. Kept separate from Net so the
+	// fault-injection experiment can measure how much error-path work lands
+	// outside the pixel slice (it categorizes as Other, like Net).
+	NetError = "net/error"
 	// None marks functions without a meaningful namespace — HTML parsing
 	// helpers, string/hash utilities, allocators. Their instructions cannot
 	// be categorized, mirroring the 26–47% the paper could not attribute.

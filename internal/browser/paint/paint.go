@@ -163,7 +163,9 @@ func (p *Painter) paintElement(n *dom.Node, style vmem.Addr, box *layout.Box, la
 			col := m.LoadU32(style + css.OffColor)
 			p.emitItem(layer, KindBorder, box, col, m.Imm(0), m.Imm(0))
 		}
-		// Image content.
+		// Image content — or a placeholder box when the fetch failed and the
+		// engine degraded (broken-image rendering, like Chromium's grey box
+		// with a border).
 		if n.Tag == dom.TagImg {
 			m.At("img")
 			img := m.LoadU32(n.Addr + dom.OffImage)
@@ -172,6 +174,15 @@ func (p *Painter) paintElement(n *dom.Node, style vmem.Addr, box *layout.Box, la
 				m.At("imgitem")
 				ln := m.LoadU32(n.Addr + dom.OffImageLen)
 				p.emitItem(layer, KindImage, box, m.Imm(0xFF888888), img, ln)
+			} else {
+				m.At("imgstate")
+				st := m.LoadU32(n.Addr + dom.OffImageState)
+				broken := m.OpImm(isa.OpCmpEQ, st, dom.ImageBroken)
+				if m.Branch(broken) {
+					m.At("brokenbox")
+					p.emitItem(layer, KindRect, box, m.Imm(0xFFEEEEEE), m.Imm(0), m.Imm(0))
+					p.emitItem(layer, KindBorder, box, m.Imm(0xFF999999), m.Imm(0), m.Imm(0))
+				}
 			}
 		}
 		// Text runs of direct text children.

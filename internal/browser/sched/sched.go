@@ -31,12 +31,59 @@ const FrameIntervalCycles = 16 * CyclesPerMs
 
 // Task is one unit of work queued to a thread.
 type Task struct {
-	Thread uint8
-	Name   string
-	Ready  uint64
-	Run    func()
-	seq    int
+	Thread    uint8
+	Name      string
+	Ready     uint64
+	Run       func()
+	seq       int
+	cancelled bool
 }
+
+// Timer is a handle on a delayed task that may be cancelled before it fires
+// (Chromium's CancelableTaskTracker). A cancelled task is skipped by the
+// dispatch loop without advancing the virtual clock to its deadline.
+type Timer struct {
+	s *Scheduler
+	t *Task
+}
+
+// Cancel marks the task cancelled and pays the traced dequeue bookkeeping
+// (the queue's pending count drops without a dispatch). It reports whether
+// the task was still pending; cancelling a fired or already-cancelled task
+// is a no-op.
+func (tm *Timer) Cancel() bool {
+	if tm == nil || tm.t == nil || tm.t.cancelled || tm.t.Run == nil {
+		return false
+	}
+	s, m := tm.s, tm.s.M
+	tm.t.cancelled = true
+	tm.t.Run = nil
+	s.cancelled++
+	s.Cancelled++
+	lock, head := s.cells(tm.t.Thread)
+	m.Call(s.cancelFn, func() {
+		m.Call(s.lockFn, func() {
+			m.At("spin")
+			v := m.LoadU32(lock)
+			c := m.OpImm(isa.OpCmpEQ, v, 0)
+			m.Branch(c)
+			m.StoreU32(lock, m.Imm(1))
+		})
+		m.At("drop")
+		n := m.LoadU32(head)
+		nz := m.OpImm(isa.OpCmpGT, n, 0)
+		if m.Branch(nz) {
+			m.StoreU32(head, m.OpImm(isa.OpSub, n, 1))
+		}
+		m.Call(s.unlockFn, func() {
+			m.StoreU32(lock, m.Imm(0))
+		})
+	})
+	return true
+}
+
+// Fired reports whether the task already ran (or was cancelled).
+func (tm *Timer) Fired() bool { return tm == nil || tm.t == nil || tm.t.Run == nil }
 
 type taskHeap []*Task
 
@@ -62,7 +109,10 @@ type Scheduler struct {
 	queueHead map[uint8]vmem.Addr // queue bookkeeping cell
 	fnCache   map[string]*vm.Fn
 
-	lockFn, unlockFn, pumpFn, timerFn *vm.Fn
+	lockFn, unlockFn, pumpFn, timerFn, cancelFn *vm.Fn
+
+	// cancelled counts tasks still in the heap whose Timer was cancelled.
+	cancelled int
 
 	// OnDispatch, if set, runs after each task's dequeue bookkeeping and
 	// before the task body (Chromium records task-timing histograms on
@@ -71,6 +121,7 @@ type Scheduler struct {
 
 	// Stats
 	Dispatched int
+	Cancelled  int
 	IdleCycles uint64
 }
 
@@ -86,6 +137,7 @@ func New(m *vm.Machine) *Scheduler {
 		unlockFn:  m.Func("base::internal::SpinLock::Release", "base/threading"),
 		pumpFn:    m.Func("base::MessagePumpDefault::Run", "base/message_loop"),
 		timerFn:   m.Func("base::TimeTicks::Now", "base/message_loop"),
+		cancelFn:  m.Func("base::DelayedTaskManager::Cancel", "base/message_loop"),
 	}
 	return s
 }
@@ -131,6 +183,12 @@ func (s *Scheduler) Post(tid uint8, name string, run func()) {
 
 // PostDelayed queues a task runnable after delay cycles.
 func (s *Scheduler) PostDelayed(tid uint8, name string, delay uint64, run func()) {
+	s.PostDelayedCancellable(tid, name, delay, run)
+}
+
+// PostDelayedCancellable queues a delayed task and returns a Timer handle
+// that can cancel it before it fires (used for per-request network timeouts).
+func (s *Scheduler) PostDelayedCancellable(tid uint8, name string, delay uint64, run func()) *Timer {
 	m := s.M
 	lock, head := s.cells(tid)
 	cross := m.Cur() != nil && m.Cur().ID != tid
@@ -155,6 +213,7 @@ func (s *Scheduler) PostDelayed(tid uint8, name string, delay uint64, run func()
 	s.seq++
 	t := &Task{Thread: tid, Name: name, Ready: m.Cycle() + delay, Run: run, seq: s.seq}
 	heap.Push(&s.tasks, t)
+	return &Timer{s: s, t: t}
 }
 
 // PostAt queues a task runnable at an absolute cycle.
@@ -174,6 +233,12 @@ func (s *Scheduler) Run() {
 	m := s.M
 	for s.tasks.Len() > 0 {
 		t := heap.Pop(&s.tasks).(*Task)
+		if t.cancelled {
+			// Cancelled timers are discarded without idling the clock to
+			// their deadline — cancellation is the whole point.
+			s.cancelled--
+			continue
+		}
 		if t.Ready > m.Cycle() {
 			s.IdleCycles += t.Ready - m.Cycle()
 			m.Idle(t.Ready - m.Cycle())
@@ -210,7 +275,9 @@ func (s *Scheduler) Run() {
 		if s.OnDispatch != nil {
 			s.OnDispatch()
 		}
-		m.Call(s.taskFn(t.Name), t.Run)
+		run := t.Run
+		t.Run = nil // lets Timer.Fired observe completion
+		m.Call(s.taskFn(t.Name), run)
 	}
 }
 
@@ -220,18 +287,24 @@ func (s *Scheduler) RunUntil(deadline uint64) {
 	m := s.M
 	for s.tasks.Len() > 0 && s.tasks[0].Ready <= deadline {
 		t := heap.Pop(&s.tasks).(*Task)
+		if t.cancelled {
+			s.cancelled--
+			continue
+		}
 		if t.Ready > m.Cycle() {
 			s.IdleCycles += t.Ready - m.Cycle()
 			m.Idle(t.Ready - m.Cycle())
 		}
 		m.Switch(t.Thread)
 		s.Dispatched++
-		m.Call(s.taskFn(t.Name), t.Run)
+		run := t.Run
+		t.Run = nil
+		m.Call(s.taskFn(t.Name), run)
 	}
 }
 
-// Pending reports how many tasks are queued.
-func (s *Scheduler) Pending() int { return s.tasks.Len() }
+// Pending reports how many live (non-cancelled) tasks are queued.
+func (s *Scheduler) Pending() int { return s.tasks.Len() - s.cancelled }
 
 // String describes the scheduler state.
 func (s *Scheduler) String() string {

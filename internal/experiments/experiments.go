@@ -32,6 +32,9 @@ type Run struct {
 // Execute runs a benchmark's session and computes its pixel slice.
 func Execute(b sites.Benchmark) (*Run, error) {
 	br := browser.New(b.Site, b.Profile)
+	if b.Faults != nil {
+		br.Loader.SetFaults(b.Faults)
+	}
 	br.RunSession()
 	if len(br.Errors) > 0 {
 		return nil, fmt.Errorf("experiments: %s: %v", b.Name, br.Errors[0])

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"webslice/internal/analysis"
+	"webslice/internal/report"
+	"webslice/internal/sites"
+)
+
+// FaultPair is one benchmark executed twice: a clean load and the same load
+// under the seeded degraded-network profile (sites.FaultyVariant).
+type FaultPair struct {
+	Name          string
+	Clean, Faulty *Run
+	CleanWaste    analysis.FaultWasteResult
+	FaultyWaste   analysis.FaultWasteResult
+}
+
+// ExecuteFaults runs the fault-injection experiment: for each selected site,
+// a clean load is the baseline, then the same site loads through a fault plan
+// derived from the seed. Both runs are pixel-sliced and the error-path
+// (net/error namespace) instruction counts are split by slice membership.
+func ExecuteFaults(scale float64, seed uint64) ([]FaultPair, error) {
+	benches := []sites.Benchmark{
+		sites.AmazonDesktop(sites.Options{Scale: scale}),
+		sites.Bing(sites.Options{Scale: scale}),
+	}
+	var out []FaultPair
+	for _, b := range benches {
+		clean, err := Execute(b)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s clean: %w", b.Name, err)
+		}
+		faulty, err := Execute(sites.FaultyVariant(b, seed))
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s faulty: %w", b.Name, err)
+		}
+		out = append(out, FaultPair{
+			Name:        b.Name,
+			Clean:       clean,
+			Faulty:      faulty,
+			CleanWaste:  analysis.FaultWaste(clean.Trace, clean.Pixel),
+			FaultyWaste: analysis.FaultWaste(faulty.Trace, faulty.Pixel),
+		})
+	}
+	return out, nil
+}
+
+// FaultsTable renders the experiment: error-path instruction counts with
+// their in-slice/out-of-slice split, loader retry statistics, and the pixel
+// slice percentage, clean versus faulty.
+func FaultsTable(pairs []FaultPair, seed uint64) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("Fault injection (seed %d): error-path instructions vs the pixel slice", seed),
+		Headers: []string{"Benchmark", "Variant", "Err-path", "In slice", "Out of slice",
+			"Wasted", "Of trace", "Retries", "Timeouts", "Failed", "Degraded", "Pixel slice"},
+	}
+	for _, p := range pairs {
+		for _, v := range []struct {
+			label string
+			run   *Run
+			w     analysis.FaultWasteResult
+		}{
+			{"clean", p.Clean, p.CleanWaste},
+			{"faulty", p.Faulty, p.FaultyWaste},
+		} {
+			l := v.run.Browser.Loader
+			t.AddRow(p.Name, v.label,
+				fmt.Sprint(v.w.ErrorPathInstr),
+				fmt.Sprint(v.w.InSlice),
+				fmt.Sprint(v.w.OutOfSlice),
+				report.Pct1(v.w.WastedPct()),
+				report.Pct1(v.w.ErrorPathPct()),
+				fmt.Sprint(l.Retries),
+				fmt.Sprint(l.Timeouts),
+				fmt.Sprint(l.Failures),
+				fmt.Sprint(len(v.run.Browser.Degraded)),
+				report.Pct1(v.run.Pixel.Percent()))
+		}
+	}
+	return t
+}

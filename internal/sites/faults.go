@@ -1,0 +1,97 @@
+package sites
+
+import (
+	"sort"
+	"strings"
+
+	"webslice/internal/browser/net"
+	"webslice/internal/content"
+)
+
+// FaultyVariant returns the benchmark with a deterministic degraded-network
+// profile attached: one stylesheet fails permanently, one image fails
+// permanently, one library script suffers a transient connection reset, one
+// image suffers a transient 503, and one resource gets a latency spike that
+// outlasts the request timeout. The choices depend only on the seed and the
+// site's sorted URL list, so the same seed reproduces the same trace.
+func FaultyVariant(b Benchmark, seed uint64) Benchmark {
+	plan := net.NewFaultPlan(seed)
+	css := urlsOfType(b.Site, content.CSS)
+	imgs := urlsOfType(b.Site, content.Image)
+	// Scripts other than the wiring script, which registers the session's
+	// event handlers: dropping it would change what the session can do, and
+	// the experiment wants a degraded render, not a different session.
+	var libs []string
+	for _, u := range urlsOfType(b.Site, content.JS) {
+		if !strings.HasSuffix(u, "/wire.js") {
+			libs = append(libs, u)
+		}
+	}
+
+	if len(css) > 0 {
+		plan.Set(pickURL(css, seed, 0), net.Fault{Kind: net.FaultDrop, Times: -1})
+	}
+	if len(imgs) > 0 {
+		plan.Set(pickURL(imgs, seed, 1), net.Fault{Kind: net.Fault5xx, Times: -1})
+	}
+	if len(libs) > 0 {
+		plan.Set(pickURL(libs, seed, 2), net.Fault{Kind: net.FaultReset, Times: 1})
+	}
+	if len(imgs) > 1 {
+		plan.Set(pickDistinct(imgs, seed, 3, pickURL(imgs, seed, 1)),
+			net.Fault{Kind: net.Fault5xx, Times: 1})
+	}
+	if len(imgs) > 2 {
+		used := map[string]bool{
+			pickURL(imgs, seed, 1):                              true,
+			pickDistinct(imgs, seed, 3, pickURL(imgs, seed, 1)): true,
+		}
+		for _, u := range imgs {
+			if !used[u] {
+				// A latency spike beyond the request timeout: the first
+				// attempt is abandoned, its late response discarded as stale.
+				plan.Set(u, net.Fault{Kind: net.FaultSlow, Times: 1, ExtraLatencyMs: 2500})
+				break
+			}
+		}
+	}
+	b.Name += " [faulty]"
+	b.Faults = plan
+	return b
+}
+
+// urlsOfType lists a site's resource URLs of one type, sorted (map iteration
+// order must not leak into the fault plan).
+func urlsOfType(s *content.Site, t content.ResourceType) []string {
+	var out []string
+	for u, r := range s.Resources {
+		if r.Type == t && u != s.URL {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickURL chooses one URL from a sorted list, deterministically in the seed
+// and a per-slot salt.
+func pickURL(urls []string, seed uint64, slot uint64) string {
+	h := net.HashURL("slot") ^ (seed + 0x9e3779b97f4a7c15*(slot+1))
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return urls[h%uint64(len(urls))]
+}
+
+// pickDistinct is pickURL avoiding one already-chosen URL.
+func pickDistinct(urls []string, seed uint64, slot uint64, avoid string) string {
+	u := pickURL(urls, seed, slot)
+	if u != avoid {
+		return u
+	}
+	for _, v := range urls {
+		if v != avoid {
+			return v
+		}
+	}
+	return u
+}

@@ -1,0 +1,14 @@
+package sites
+
+import "testing"
+
+func TestPickURLVariesWithSeed(t *testing.T) {
+	urls := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	seen := map[string]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		seen[pickURL(urls, seed, 1)] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("pickURL barely varies with the seed: hit only %d of 8 urls", len(seen))
+	}
+}

@@ -15,7 +15,7 @@ import (
 	"strings"
 
 	"webslice/internal/browser"
-
+	"webslice/internal/browser/net"
 	"webslice/internal/content"
 )
 
@@ -34,6 +34,9 @@ type Benchmark struct {
 	Name    string
 	Site    *content.Site
 	Profile browser.Profile
+	// Faults, when non-nil, is installed on the loader before the session
+	// runs (the faults experiment's degraded-network profile).
+	Faults *net.FaultPlan
 }
 
 func (o Options) scaleInt(n int) int {

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -16,14 +18,38 @@ import (
 // varint-delta record stream, and the side tables. The paper stored its Pin
 // traces in stable storage and re-read them for each slicing run; this format
 // serves the same purpose for cmd/webslice and cmd/tracedump.
+//
+// Version 2 appends an integrity trailer: the literal "WSCK" followed by the
+// little-endian CRC32 (IEEE) of everything before the trailer (magic, version,
+// payload). Read verifies the checksum before decoding, so a flipped bit
+// anywhere in the file is reported as corruption rather than decoded into
+// garbage. Version-1 files have no trailer and are still accepted.
 
-var magic = [4]byte{'W', 'S', 'L', 'T'}
+var (
+	magic        = [4]byte{'W', 'S', 'L', 'T'}
+	trailerMagic = [4]byte{'W', 'S', 'C', 'K'}
+)
 
-const formatVersion = 1
+const (
+	formatVersion = 2
+	trailerSize   = 8 // "WSCK" + 4-byte CRC32
+)
+
+// crcWriter forwards to w while folding every byte into the checksum.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc.Write(p)
+	return c.w.Write(p)
+}
 
 // Write serializes the trace.
 func (t *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	bw := bufio.NewWriterSize(cw, 1<<20)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
@@ -85,62 +111,194 @@ func (t *Trace) Write(w io.Writer) error {
 		putUvarint(bw, uint64(cp.Index))
 		putUvarint(bw, cp.Cycle)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer, written past the checksummed region.
+	var tr [trailerSize]byte
+	copy(tr[:4], trailerMagic[:])
+	binary.LittleEndian.PutUint32(tr[4:], cw.crc.Sum32())
+	_, err := w.Write(tr[:])
+	return err
 }
 
-// Read deserializes a trace written by Write.
-func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+// decoder reads varint fields out of an in-memory payload with explicit
+// bounds checks; every failure names the section being decoded.
+type decoder struct {
+	buf     []byte
+	pos     int
+	section string
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return fmt.Errorf("trace: %s: %s (offset %d)", d.section, fmt.Sprintf(format, args...), d.pos)
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, d.errf("truncated: need 1 byte, have 0")
 	}
-	if m != magic {
-		return nil, errors.New("trace: bad magic (not a WSLT trace)")
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.errf("bad or truncated uvarint")
 	}
-	ver, err := binary.ReadUvarint(br)
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, d.errf("bad or truncated varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+// count reads an element count and rejects values that cannot fit in the
+// remaining bytes at minBytes per element — a corrupt count then fails here
+// instead of driving an unbounded allocation.
+func (d *decoder) count(minBytes int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes > 0 && v > uint64(d.remaining()/minBytes) {
+		return 0, d.errf("count %d impossible: %d bytes remain (min %d per entry)", v, d.remaining(), minBytes)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", d.errf("string length %d exceeds %d remaining bytes", n, d.remaining())
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) ranges() ([]vmem.Range, error) {
+	n, err := d.count(2)
 	if err != nil {
 		return nil, err
 	}
-	if ver != formatVersion {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]vmem.Range, n)
+	for i := range out {
+		a, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}
+	}
+	return out, nil
+}
+
+// Read deserializes a trace written by Write. The whole input is consumed up
+// front so the version-2 checksum can be verified before any decoding; a
+// corrupt or truncated file yields a descriptive error, never a panic or an
+// absurd allocation.
+func Read(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading input: %w", err)
+	}
+	if len(data) < len(magic)+1 {
+		return nil, errors.New("trace: input shorter than the header")
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, errors.New("trace: bad magic (not a WSLT trace)")
+	}
+	d := &decoder{buf: data, pos: 4, section: "header"}
+	ver, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch ver {
+	case 1:
+		// Pre-checksum format: decode the rest as-is.
+	case 2:
+		if len(data) < d.pos+trailerSize {
+			return nil, errors.New("trace: v2 file too short for the checksum trailer")
+		}
+		tr := data[len(data)-trailerSize:]
+		if [4]byte(tr[:4]) != trailerMagic {
+			return nil, errors.New("trace: checksum trailer missing or overwritten")
+		}
+		want := binary.LittleEndian.Uint32(tr[4:])
+		if got := crc32.ChecksumIEEE(data[:len(data)-trailerSize]); got != want {
+			return nil, fmt.Errorf("trace: checksum mismatch: file says %08x, contents hash to %08x (corrupt trace)", want, got)
+		}
+		d.buf = data[:len(data)-trailerSize]
+	default:
 		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
 	}
 	t := New()
 
-	nf, err := binary.ReadUvarint(br)
+	d.section = "symbol table"
+	// Minimum 2 bytes per function: two empty strings.
+	nf, err := d.count(2)
 	if err != nil {
 		return nil, err
 	}
 	if nf > MaxFuncs {
-		return nil, fmt.Errorf("trace: absurd function count %d", nf)
+		return nil, d.errf("absurd function count %d", nf)
 	}
 	t.Funcs = make([]FuncInfo, nf)
 	for i := range t.Funcs {
-		if t.Funcs[i].Name, err = getString(br); err != nil {
+		if t.Funcs[i].Name, err = d.string(); err != nil {
 			return nil, err
 		}
-		if t.Funcs[i].Namespace, err = getString(br); err != nil {
+		if t.Funcs[i].Namespace, err = d.string(); err != nil {
 			return nil, err
 		}
 	}
 
-	nth, err := binary.ReadUvarint(br)
+	d.section = "thread table"
+	nth, err := d.count(2)
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nth; i++ {
-		id, err := binary.ReadUvarint(br)
+	if nth > 256 {
+		return nil, d.errf("thread count %d exceeds the 256 thread ids", nth)
+	}
+	for i := 0; i < nth; i++ {
+		id, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		name, err := getString(br)
+		if id > 255 {
+			return nil, d.errf("thread id %d out of range", id)
+		}
+		name, err := d.string()
 		if err != nil {
 			return nil, err
 		}
 		t.Threads = append(t.Threads, ThreadInfo{ID: uint8(id), Name: name})
 	}
 
-	nr, err := binary.ReadUvarint(br)
+	d.section = "record stream"
+	// Minimum 9 bytes per record: kind, tid, and seven 1-byte varints.
+	nr, err := d.count(9)
 	if err != nil {
 		return nil, err
 	}
@@ -150,87 +308,99 @@ func Read(r io.Reader) (*Trace, error) {
 	var lastPC [256]uint32
 	for i := range t.Recs {
 		r := &t.Recs[i]
-		kb, err := br.ReadByte()
+		kb, err := d.byte()
 		if err != nil {
 			return nil, err
 		}
 		r.Kind = isa.Kind(kb)
-		if r.TID, err = br.ReadByte(); err != nil {
+		if r.TID, err = d.byte(); err != nil {
 			return nil, err
 		}
-		d, err := binary.ReadVarint(br)
+		delta, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
-		r.PC = uint32(int64(lastPC[r.TID]) + d)
+		r.PC = uint32(int64(lastPC[r.TID]) + delta)
 		lastPC[r.TID] = r.PC
 		fields := []*uint32{(*uint32)(&r.Dst), (*uint32)(&r.Src1), (*uint32)(&r.Src2), (*uint32)(&r.Addr), &r.Aux}
 		for _, f := range fields {
-			v, err := binary.ReadUvarint(br)
+			v, err := d.uvarint()
 			if err != nil {
 				return nil, err
 			}
 			*f = uint32(v)
 		}
-		sz, err := binary.ReadUvarint(br)
+		sz, err := d.uvarint()
 		if err != nil {
 			return nil, err
+		}
+		if sz > 0xFFFF {
+			return nil, d.errf("record %d access size %d overflows", i, sz)
 		}
 		r.Size = uint16(sz)
 	}
 
-	ns, err := binary.ReadUvarint(br)
+	d.section = "syscall table"
+	nsys, err := d.count(4)
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < ns; i++ {
-		idx, err := binary.ReadUvarint(br)
+	for i := 0; i < nsys; i++ {
+		idx, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		num, err := binary.ReadUvarint(br)
+		if idx >= uint64(nr) {
+			return nil, d.errf("syscall effect at record %d, but only %d records", idx, nr)
+		}
+		num, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
 		e := &SysEffect{Num: isa.Sys(num)}
-		if e.Reads, err = getRanges(br); err != nil {
+		if e.Reads, err = d.ranges(); err != nil {
 			return nil, err
 		}
-		if e.Writes, err = getRanges(br); err != nil {
+		if e.Writes, err = d.ranges(); err != nil {
 			return nil, err
 		}
 		t.Sys[int(idx)] = e
 	}
 
-	nm, err := binary.ReadUvarint(br)
+	d.section = "marker table"
+	nm, err := d.count(5)
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nm; i++ {
-		idx, err := binary.ReadUvarint(br)
+	for i := 0; i < nm; i++ {
+		idx, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		id, err := binary.ReadUvarint(br)
+		if idx >= uint64(nr) {
+			return nil, d.errf("marker at record %d, but only %d records", idx, nr)
+		}
+		id, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		kb, err := br.ReadByte()
+		kb, err := d.byte()
 		if err != nil {
 			return nil, err
 		}
-		a, err := binary.ReadUvarint(br)
+		a, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		sz, err := binary.ReadUvarint(br)
+		sz, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
 		t.Marks[int(idx)] = &Mark{ID: uint32(id), Kind: isa.MarkKind(kb), Buf: vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}}
 	}
 
-	nc, err := binary.ReadUvarint(br)
+	d.section = "clock checkpoints"
+	nc, err := d.count(2)
 	if err != nil {
 		return nil, err
 	}
@@ -239,11 +409,14 @@ func Read(r io.Reader) (*Trace, error) {
 	}
 	t.Clock = make([]ClockPoint, nc)
 	for i := range t.Clock {
-		idx, err := binary.ReadUvarint(br)
+		idx, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		cyc, err := binary.ReadUvarint(br)
+		if idx > uint64(nr) {
+			return nil, d.errf("checkpoint at record %d, but only %d records", idx, nr)
+		}
+		cyc, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
@@ -269,53 +442,12 @@ func putString(w *bufio.Writer, s string) {
 	w.WriteString(s)
 }
 
-func getString(r *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(r)
-	if err != nil {
-		return "", err
-	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("trace: absurd string length %d", n)
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return "", err
-	}
-	return string(b), nil
-}
-
 func putRanges(w *bufio.Writer, rs []vmem.Range) {
 	putUvarint(w, uint64(len(rs)))
 	for _, r := range rs {
 		putUvarint(w, uint64(r.Addr))
 		putUvarint(w, uint64(r.Size))
 	}
-}
-
-func getRanges(r *bufio.Reader) ([]vmem.Range, error) {
-	n, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, err
-	}
-	if n > 1<<24 {
-		return nil, fmt.Errorf("trace: absurd range count %d", n)
-	}
-	if n == 0 {
-		return nil, nil
-	}
-	out := make([]vmem.Range, n)
-	for i := range out {
-		a, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		sz, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}
-	}
-	return out, nil
 }
 
 func sortedKeys[V any](m map[int]V) []int {

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// encodeSample returns the version-2 encoding of the shared sample trace.
+func encodeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sampleTrace(t).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// readNeverPanics decodes data, converting a panic into a test failure.
+// Corrupt input must come back as an error, not a crash.
+func readNeverPanics(t *testing.T, data []byte, label string) error {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Read panicked: %v", label, r)
+		}
+	}()
+	_, err := Read(bytes.NewReader(data))
+	return err
+}
+
+func TestReadEveryTruncatedPrefixErrors(t *testing.T) {
+	enc := encodeSample(t)
+	for n := 0; n < len(enc); n++ {
+		err := readNeverPanics(t, enc[:n], "prefix")
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(enc))
+		}
+	}
+}
+
+func TestReadEveryBitFlipErrors(t *testing.T) {
+	enc := encodeSample(t)
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(enc)
+			mut[i] ^= 1 << bit
+			err := readNeverPanics(t, mut, "bitflip")
+			if err == nil {
+				t.Fatalf("flipping byte %d bit %d (of %d bytes) decoded without error — the checksum must catch every single-bit corruption", i, bit, len(enc))
+			}
+		}
+	}
+}
+
+func TestReadCorruptCountsErrorDescriptively(t *testing.T) {
+	// A version-1 file (no checksum) with a record count far beyond the
+	// payload: the bounds check must reject it before allocating.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(1)                                // version 1
+	buf.WriteByte(0)                                // no functions
+	buf.WriteByte(0)                                // no threads
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // record count ~2^34
+	err := readNeverPanics(t, buf.Bytes(), "hugecount")
+	if err == nil {
+		t.Fatal("absurd record count decoded without error")
+	}
+	if !strings.Contains(err.Error(), "record stream") {
+		t.Errorf("error should name the failing section: %v", err)
+	}
+}
+
+func TestReadRejectsOutOfRangeSideTables(t *testing.T) {
+	// Build a v1 body whose syscall table points past the record stream.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(1) // version 1
+	buf.WriteByte(0) // no functions
+	buf.WriteByte(0) // no threads
+	buf.WriteByte(0) // no records
+	buf.WriteByte(1) // one syscall entry...
+	buf.WriteByte(9) // ...claiming record index 9
+	buf.WriteByte(1) // syscall num
+	buf.WriteByte(0) // reads
+	buf.WriteByte(0) // writes
+	err := readNeverPanics(t, buf.Bytes(), "sysidx")
+	if err == nil || !strings.Contains(err.Error(), "syscall") {
+		t.Errorf("out-of-range syscall index must error with the section name, got: %v", err)
+	}
+}
+
+func TestReadAcceptsVersion1WithoutTrailer(t *testing.T) {
+	// Re-encode the sample as version 1 by patching the version byte and
+	// dropping the trailer; the checksum is then not required.
+	enc := encodeSample(t)
+	v1 := bytes.Clone(enc[:len(enc)-trailerSize])
+	if v1[4] != 2 {
+		t.Fatalf("version byte = %d, expected 2", v1[4])
+	}
+	v1[4] = 1
+	tr, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 decode: %v", err)
+	}
+	if len(tr.Recs) != len(sampleTrace(t).Recs) {
+		t.Errorf("v1 decode lost records: %d", len(tr.Recs))
+	}
+}
+
+func TestReadRejectsMissingTrailer(t *testing.T) {
+	enc := encodeSample(t)
+	err := readNeverPanics(t, enc[:len(enc)-trailerSize], "notrailer")
+	if err == nil {
+		t.Fatal("a v2 file without its trailer must not decode")
+	}
+}

@@ -1,9 +1,16 @@
 #!/bin/sh
-# CI gate: build, vet, then the full test suite under the race detector.
-# The scheduler's cancellable timers and the loader's timeout/response race
-# are exactly the code -race exists to check.
+# CI gate: formatting, build (including examples), vet, then the full test
+# suite under the race detector. The scheduler's cancellable timers, the
+# loader's timeout/response race, and the websliced worker pool are exactly
+# the code -race exists to check.
 set -eux
 cd "$(dirname "$0")"
+unformatted=$(gofmt -l cmd internal examples bench_test.go)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" "$unformatted" >&2
+	exit 1
+fi
 go build ./...
+go build ./examples/...
 go vet ./...
 go test -race ./...

@@ -1,0 +1,154 @@
+// Client mode: webslice submit|status|result talk to a running websliced
+// over its HTTP API, so the batch CLI and the service share one workflow.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"webslice/internal/report"
+	"webslice/internal/service"
+)
+
+// clientSubmit posts a job: a binary trace file when tracePath is set,
+// otherwise a named site. With wait it polls until the job finishes and
+// prints the result.
+func clientSubmit(addr, site string, scale float64, criteria, tracePath string, wait bool) error {
+	var resp *http.Response
+	var err error
+	if tracePath != "" {
+		body, rerr := os.ReadFile(tracePath)
+		if rerr != nil {
+			return rerr
+		}
+		resp, err = http.Post(addr+"/jobs/trace?criteria="+criteria, "application/octet-stream", bytes.NewReader(body))
+	} else {
+		spec, _ := json.Marshal(service.Spec{Site: site, Scale: scale, Criteria: criteria})
+		resp, err = http.Post(addr+"/jobs", "application/json", bytes.NewReader(spec))
+	}
+	if err != nil {
+		return err
+	}
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := decodeJSON(resp, http.StatusAccepted, &out); err != nil {
+		return err
+	}
+	fmt.Println(out.ID)
+	if !wait {
+		return nil
+	}
+	for {
+		info, err := fetchStatus(addr, out.ID)
+		if err != nil {
+			return err
+		}
+		if info.Status.Terminal() {
+			if info.Status != service.StatusDone {
+				return fmt.Errorf("job %s %s: %s", out.ID, info.Status, info.Error)
+			}
+			return clientResult(addr, out.ID)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// clientStatus prints one job's status line.
+func clientStatus(addr, id string) error {
+	info, err := fetchStatus(addr, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s  %-9s site=%s criteria=%s queue=%.0fms run=%.0fms cache_hit=%t", // one line per job
+		info.ID, info.Status, orDash(info.Site), info.Criteria, info.QueueMs, info.RunMs, info.CacheHit)
+	if info.Error != "" {
+		fmt.Printf(" error=%q", info.Error)
+	}
+	fmt.Println()
+	return nil
+}
+
+// clientResult fetches and pretty-prints a finished job's result.
+func clientResult(addr, id string) error {
+	resp, err := http.Get(addr + "/jobs/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	var res service.Result
+	if err := decodeJSON(resp, http.StatusOK, &res); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s instructions, %s criteria\n", id, report.MInstr(res.Total), res.Criteria)
+	fmt.Printf("  slice: %s (%d records)", report.Pct1(res.SlicePct), res.SliceCount)
+	if res.CacheHit {
+		fmt.Printf("  [served from artifact store]")
+	}
+	fmt.Println()
+	if res.TraceKey != "" {
+		fmt.Printf("  trace key: %s\n", res.TraceKey)
+	}
+	for _, th := range res.Threads {
+		pct := 0.0
+		if th.Total > 0 {
+			pct = 100 * float64(th.Sliced) / float64(th.Total)
+		}
+		fmt.Printf("  %-28s %8s of %s\n", th.Name, report.Pct1(pct), report.MInstr(th.Total))
+	}
+	if len(res.Categories) > 0 {
+		cats := make([]string, 0, len(res.Categories))
+		for c := range res.Categories {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		fmt.Println("  categories of unnecessary work:")
+		for _, c := range cats {
+			fmt.Printf("    %-16s %s\n", c, report.Pct1(100*res.Categories[c]))
+		}
+	}
+	return nil
+}
+
+func fetchStatus(addr, id string) (service.Info, error) {
+	resp, err := http.Get(addr + "/jobs/" + id)
+	if err != nil {
+		return service.Info{}, err
+	}
+	var info service.Info
+	err = decodeJSON(resp, http.StatusOK, &info)
+	return info, err
+}
+
+// decodeJSON consumes a response, enforcing the expected status and
+// surfacing the server's {"error": ...} payload otherwise.
+func decodeJSON(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, v)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

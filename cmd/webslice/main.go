@@ -1,7 +1,8 @@
 // Command webslice drives the full reproduction: it renders the benchmark
 // sites on the simulated browser, runs the slicing profiler, and regenerates
 // every table and figure of the paper. Run `webslice repro` for everything,
-// or one experiment at a time with -exp.
+// or one experiment at a time with -exp. The submit/status/result commands
+// are the client side of the websliced service (cmd/websliced).
 package main
 
 import (
@@ -28,15 +29,26 @@ func main() {
 	faultSeed := fs.Uint64("faultseed", 7, "fault-plan seed for -exp faults")
 	site := fs.String("site", "amazon-desktop", "site: amazon-desktop|amazon-mobile|maps|bing")
 	tracePath := fs.String("o", "", "write the binary trace to this path (trace command)")
-	in := fs.String("i", "", "read a binary trace from this path")
+	in := fs.String("i", "", "read a binary trace from this path (submit command)")
 	topN := fs.Int("top", 20, "how many functions to list (categorize command)")
-	_ = in
+	jsonOut := fs.Bool("json", false, "repro: also write machine-readable rows to "+BenchFile)
+	addr := fs.String("addr", "http://localhost:8077", "websliced base URL (submit/status/result commands)")
+	id := fs.String("id", "", "job id (status/result commands)")
+	criteria := fs.String("criteria", "pixels", "slicing criteria: pixels|syscalls (submit command)")
+	wait := fs.Bool("wait", false, "submit: poll until the job finishes and print its result")
 	fs.Parse(os.Args[2:])
 
 	var err error
 	switch cmd {
 	case "repro":
-		err = repro(*scale, *exp, *faultSeed)
+		var rec *benchRecorder
+		if *jsonOut {
+			rec = newBenchRecorder(*scale)
+		}
+		err = repro(*scale, *exp, *faultSeed, rec)
+		if err == nil {
+			err = rec.write(BenchFile)
+		}
 	case "trace":
 		err = doTrace(*scale, *site, *tracePath)
 	case "slice":
@@ -44,11 +56,17 @@ func main() {
 	case "categorize":
 		err = doCategorize(*scale, *site, *topN)
 	case "unused":
-		err = reproTableI(*scale)
+		err = reproTableI(*scale, nil)
 	case "cpu":
-		err = reproFigure2(*scale)
+		err = reproFigure2(*scale, nil)
 	case "calibrate":
 		err = calibrate(*scale)
+	case "submit":
+		err = clientSubmit(*addr, *site, *scale, *criteria, *in, *wait)
+	case "status":
+		err = clientStatus(*addr, *id)
+	case "result":
+		err = clientResult(*addr, *id)
 	default:
 		usage()
 		os.Exit(2)
@@ -63,36 +81,29 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: webslice <command> [flags]
 
 commands:
-  repro      regenerate the paper's tables and figures (-exp selects one)
+  repro      regenerate the paper's tables and figures (-exp selects one; -json
+             also writes machine-readable rows to BENCH_repro.json)
   trace      render a site and write its binary instruction trace (-site, -o)
   slice      render a site and print pixel/syscall slice statistics (-site)
   categorize render+slice a site and list the most-wasteful functions (-site)
   unused     Table I only (unused JS/CSS bytes)
   cpu        Figure 2 only (main-thread CPU utilization)
   calibrate  print per-thread statistics for tuning workload knobs
+  submit     send a job to a running websliced (-site or -i trace, -criteria,
+             -wait to block for the result)
+  status     print a websliced job's status (-id)
+  result     print a finished websliced job's result (-id)
 
 flags: -scale 1.0 (workload size), -exp all, -site amazon-desktop, -o/-i trace path,
-       -faultseed 7 (fault-plan seed for -exp faults)`)
+       -faultseed 7 (fault-plan seed for -exp faults), -json (repro),
+       -addr http://localhost:8077, -id <job> (service client commands)`)
 }
 
 func benchByName(name string, scale float64, browse bool) (sites.Benchmark, error) {
-	o := sites.Options{Scale: scale, Browse: browse}
-	switch name {
-	case "amazon-desktop":
-		return sites.AmazonDesktop(o), nil
-	case "amazon-mobile":
-		return sites.AmazonMobile(o), nil
-	case "maps":
-		return sites.GoogleMaps(o), nil
-	case "bing":
-		o.Browse = true
-		return sites.Bing(o), nil
-	default:
-		return sites.Benchmark{}, fmt.Errorf("unknown site %q", name)
-	}
+	return sites.ByName(name, sites.Options{Scale: scale, Browse: browse})
 }
 
-func repro(scale float64, exp string, faultSeed uint64) error {
+func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) error {
 	switch exp {
 	case "all", "table1", "table2", "fig2", "fig4", "fig5", "bingload", "criteria", "faults":
 	default:
@@ -103,22 +114,31 @@ func repro(scale float64, exp string, faultSeed uint64) error {
 	needRuns := all || exp == "table2" || exp == "fig4" || exp == "fig5" || exp == "bingload" || exp == "criteria"
 	if needRuns {
 		fmt.Printf("Running the four Table II benchmarks at scale %.2f...\n\n", scale)
+		rec.begin("render+slice")
 		var err error
 		runs, err = experiments.ExecuteTableII(scale)
 		if err != nil {
 			return err
+		}
+		for _, r := range runs {
+			rec.row(r.Bench.Name, map[string]float64{
+				"instructions":       float64(r.Pixel.Total),
+				"slice_instructions": float64(r.Pixel.SliceCount),
+				"slice_pct":          r.Pixel.Percent(),
+				"threads":            float64(len(r.Trace.Threads)),
+			})
 		}
 	}
 	if all || exp == "table2" {
 		fmt.Println(experiments.TableII(runs).String())
 	}
 	if all || exp == "table1" {
-		if err := reproTableI(scale); err != nil {
+		if err := reproTableI(scale, rec); err != nil {
 			return err
 		}
 	}
 	if all || exp == "fig2" {
-		if err := reproFigure2(scale); err != nil {
+		if err := reproFigure2(scale, rec); err != nil {
 			return err
 		}
 	}
@@ -128,9 +148,19 @@ func repro(scale float64, exp string, faultSeed uint64) error {
 		}
 	}
 	if all || exp == "fig5" {
+		rec.begin("fig5")
 		fmt.Println(experiments.Figure5(runs).String())
+		for _, r := range runs {
+			d := analysis.Categorize(r.Trace, r.Pixel)
+			vals := map[string]float64{"coverage_pct": d.CoveragePct}
+			for _, c := range analysis.Categories {
+				vals[c] = 100 * d.Share[c]
+			}
+			rec.row(r.Bench.Name, vals)
+		}
 	}
 	if all || exp == "bingload" {
+		rec.begin("bingload")
 		bing := runs[len(runs)-1]
 		res, err := experiments.ExecuteBingPartial(bing)
 		if err != nil {
@@ -141,9 +171,15 @@ func repro(scale float64, exp string, faultSeed uint64) error {
 		fmt.Printf("  slicing from the end of the session:  %.1f%% of load-time instructions in slice\n", res.FullSessionPct)
 		fmt.Printf("  (browsing makes %.1f%% more of the load work useful; the paper measured 49.8%% vs 50.6%%)\n\n",
 			res.FullSessionPct-res.LoadOnlyPct)
+		rec.row(bing.Bench.Name, map[string]float64{
+			"load_instructions": float64(res.LoadInstr),
+			"load_only_pct":     res.LoadOnlyPct,
+			"full_session_pct":  res.FullSessionPct,
+		})
 	}
 	if all || exp == "faults" {
 		fmt.Printf("Running fault-injection pairs (clean + faulty) at scale %.2f, seed %d...\n\n", scale, faultSeed)
+		rec.begin("faults")
 		pairs, err := experiments.ExecuteFaults(scale, faultSeed)
 		if err != nil {
 			return err
@@ -153,10 +189,18 @@ func repro(scale float64, exp string, faultSeed uint64) error {
 			for _, d := range p.Faulty.Browser.Degraded {
 				fmt.Printf("  %s: degraded: %s\n", p.Name, d)
 			}
+			rec.row(p.Name, map[string]float64{
+				"clean_instructions":  float64(p.Clean.Pixel.Total),
+				"faulty_instructions": float64(p.Faulty.Pixel.Total),
+				"faulty_errpath":      float64(p.FaultyWaste.ErrorPathInstr),
+				"faulty_wasted_pct":   p.FaultyWaste.WastedPct(),
+				"faulty_slice_pct":    p.Faulty.Pixel.Percent(),
+			})
 		}
 		fmt.Println()
 	}
 	if all || exp == "criteria" {
+		rec.begin("criteria")
 		t := &report.Table{
 			Title:   "Criteria comparison: pixel-buffer vs system-call slicing (§IV-C)",
 			Headers: []string{"Benchmark", "Pixel slice", "Syscall slice", "Pixel-only recs", "Extra syscall recs"},
@@ -168,28 +212,58 @@ func repro(scale float64, exp string, faultSeed uint64) error {
 			}
 			t.AddRow(r.Bench.Name, report.Pct1(c.PixelPct), report.Pct1(c.SyscallPct),
 				fmt.Sprint(c.PixelOnly), fmt.Sprint(c.ExtraSyscall))
+			rec.row(r.Bench.Name, map[string]float64{
+				"pixel_pct":     c.PixelPct,
+				"syscall_pct":   c.SyscallPct,
+				"extra_syscall": float64(c.ExtraSyscall),
+			})
 		}
 		fmt.Println(t.String())
 	}
 	return nil
 }
 
-func reproTableI(scale float64) error {
+func reproTableI(scale float64, rec *benchRecorder) error {
+	rec.begin("table1")
 	rows, err := experiments.ExecuteTableI(scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println(experiments.TableI(rows).String())
+	for _, r := range rows {
+		rec.row(r.Name, map[string]float64{
+			"load_unused_bytes":   float64(r.Load.UnusedBytes),
+			"load_total_bytes":    float64(r.Load.TotalBytes),
+			"browse_unused_bytes": float64(r.LoadAndBrowse.UnusedBytes),
+			"browse_total_bytes":  float64(r.LoadAndBrowse.TotalBytes),
+		})
+	}
 	return nil
 }
 
-func reproFigure2(scale float64) error {
+func reproFigure2(scale float64, rec *benchRecorder) error {
+	rec.begin("fig2")
 	chart, err := experiments.Figure2(scale)
 	if err != nil {
 		return err
 	}
 	fmt.Println(chart.String())
+	rec.row("main-thread-utilization", map[string]float64{
+		"points": float64(len(chart.SeriesA)),
+		"mean":   mean(chart.SeriesA),
+	})
 	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
 }
 
 func doTrace(scale float64, site, out string) error {

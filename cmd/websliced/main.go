@@ -1,0 +1,72 @@
+// Command websliced serves the slicing profiler over HTTP: clients submit
+// a named benchmark site or a binary trace, a bounded queue feeds a pool
+// of parallel workers, and a content-addressed artifact store makes a
+// repeat slice of an identical trace a cache hit that skips the forward
+// pass entirely. See `webslice submit|status|result` for the client side.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"webslice/internal/service"
+	"webslice/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8077", "listen address")
+	dir := flag.String("store", ".websliced-store", "artifact store directory (empty = in-memory only)")
+	memMB := flag.Int64("mem", 256, "artifact store in-memory LRU budget in MiB")
+	workers := flag.Int("workers", 4, "parallel slicing workers")
+	queue := flag.Int("queue", 64, "bounded job-queue depth (full queue returns 429)")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *memMB<<20, *workers, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "websliced:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, memBytes int64, workers, queue int) error {
+	st, err := store.Open(dir, memBytes)
+	if err != nil {
+		return err
+	}
+	mgr := service.New(service.Config{Workers: workers, QueueDepth: queue, Store: st})
+
+	srv := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("websliced: listening on %s (workers=%d queue=%d store=%q)", addr, workers, queue, dir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain every
+	// accepted job before exiting.
+	log.Printf("websliced: shutting down, draining jobs...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("websliced: http shutdown: %v", err)
+	}
+	mgr.Close()
+	log.Printf("websliced: drained, bye")
+	return nil
+}

@@ -265,6 +265,9 @@ func (b *Browser) styleSet(node *dom.Node, prop string, val isa.Reg) isa.Reg {
 	cell, ok2 := b.inlineCell(node, prop)
 	if !ok2 {
 		cell = m.Heap.Alloc(8)
+		if len(b.inline[node]) == 0 {
+			b.inlineOrder = append(b.inlineOrder, node)
+		}
 		b.inline[node] = append(b.inline[node], inlineProp{prop: prop, off: sp.off, size: sp.size, cell: cell})
 	}
 	m.StoreU64(cell, val)
@@ -293,13 +296,13 @@ func (b *Browser) inlineCell(node *dom.Node, prop string) (vmem.Addr, bool) {
 // (inline style wins over sheet rules).
 func (b *Browser) applyInlineStyles() {
 	m := b.M
-	for node, props := range b.inline {
+	for _, node := range b.inlineOrder {
 		style := b.Styles.StyleOf(node)
 		if style == 0 {
 			continue
 		}
 		m.At("inline")
-		for _, p := range props {
+		for _, p := range b.inline[node] {
 			v := m.LoadU64(p.cell)
 			m.Store(style+p.off, p.size, v)
 		}

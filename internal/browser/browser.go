@@ -112,6 +112,10 @@ type Browser struct {
 	damaged    map[*dom.Node]bool
 	rootDamage bool
 	inline     map[*dom.Node][]inlineProp
+	// inlineOrder fixes the iteration order of b.inline: re-applying the
+	// overrides emits trace records, and map iteration order would make
+	// otherwise-identical renders produce different traces.
+	inlineOrder []*dom.Node
 
 	htmlRes     *html.Result
 	nextRaster  int

@@ -21,6 +21,7 @@ import (
 	"webslice/internal/cdg"
 	"webslice/internal/cfg"
 	"webslice/internal/slicer"
+	"webslice/internal/store"
 	"webslice/internal/trace"
 )
 
@@ -33,6 +34,12 @@ type Profiler struct {
 
 	// Opts are the default options applied to every slicing run.
 	Opts slicer.Options
+
+	// store, when set, is consulted before computing: the forward pass
+	// loads a cached control dependence graph, and SliceCached loads whole
+	// slice results. key is the trace's content address in the store.
+	store *store.Store
+	key   string
 }
 
 // NewProfiler wraps a trace. Run Forward before slicing (Slice does it on
@@ -41,11 +48,35 @@ func NewProfiler(t *trace.Trace) *Profiler {
 	return &Profiler{T: t, Opts: slicer.Options{ProgressPoints: 100}}
 }
 
+// UseStore attaches a content-addressed artifact store. The trace is
+// hashed once (its content address); from then on Forward and SliceCached
+// consult the store before computing and publish what they compute.
+func (p *Profiler) UseStore(s *store.Store) error {
+	k, err := store.TraceKey(p.T)
+	if err != nil {
+		return err
+	}
+	p.store, p.key = s, k
+	return nil
+}
+
+// Key returns the trace's content address (empty before UseStore).
+func (p *Profiler) Key() string { return p.key }
+
 // Forward runs the forward pass: per-function CFGs from the dynamic trace,
-// postdominator trees, and the control dependence graph.
+// postdominator trees, and the control dependence graph. With a store
+// attached, a cached dependence graph is loaded instead (the CFG forest is
+// then not materialized — Forest stays nil) and a computed one is saved.
 func (p *Profiler) Forward() error {
 	if p.deps != nil {
 		return nil
+	}
+	if p.store != nil {
+		// A decode/corruption error is a cache miss, not a failure.
+		if d, ok, _ := p.store.GetDeps(p.key); ok {
+			p.deps = d
+			return nil
+		}
 	}
 	f, err := cfg.Build(p.T)
 	if err != nil {
@@ -53,6 +84,11 @@ func (p *Profiler) Forward() error {
 	}
 	p.forest = f
 	p.deps = cdg.Compute(f)
+	if p.store != nil {
+		if err := p.store.PutDeps(p.key, p.deps); err != nil {
+			return fmt.Errorf("core: caching forward pass: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -95,6 +131,30 @@ func (p *Profiler) SliceOpts(c slicer.Criteria, opts slicer.Options) (*slicer.Re
 		}
 	}
 	return slicer.Slice(p.T, p.deps, c, opts)
+}
+
+// SliceCached runs the backward pass through the artifact store: if this
+// trace was already sliced with the same criteria and options, the stored
+// result is returned and both passes are skipped entirely. The bool
+// reports whether the result came from the cache. Without a store attached
+// it degrades to a plain SliceOpts.
+func (p *Profiler) SliceCached(c slicer.Criteria, opts slicer.Options) (*slicer.Result, bool, error) {
+	if p.store == nil {
+		r, err := p.SliceOpts(c, opts)
+		return r, false, err
+	}
+	variant := store.SliceVariant(c.Name(), opts)
+	if r, ok, _ := p.store.GetSlice(p.key, variant); ok {
+		return r, true, nil
+	}
+	r, err := p.SliceOpts(c, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := p.store.PutSlice(p.key, variant, r); err != nil {
+		return nil, false, fmt.Errorf("core: caching slice: %w", err)
+	}
+	return r, false, nil
 }
 
 // PixelSlice runs the backward pass with the pixel-buffer criteria.

@@ -1,0 +1,223 @@
+// Package metrics is the lightweight instrumentation layer of the slicing
+// service: atomic counters and gauges plus fixed-bucket histograms with
+// percentile estimation, collected in a named registry that renders a
+// deterministic text exposition for the /metrics endpoint. It is
+// dependency-free on purpose — the service, the store, and the daemon all
+// publish through it without pulling in an external metrics stack.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the counter to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease) and returns the new
+// value.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// SetMax raises the gauge to n if n is greater — a lock-free high-water
+// mark (used for peak worker concurrency).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// LatencyBuckets are the default histogram bounds for millisecond
+// latencies, exponential from 1ms to 10s.
+var LatencyBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Histogram counts observations in fixed buckets and estimates quantiles by
+// linear interpolation within the bucket that crosses the target rank.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	sum    float64
+	n      int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1). With no samples it
+// returns 0; ranks landing in the overflow bucket report the largest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	var cum int64
+	for i, c := range h.counts {
+		if float64(cum+c) < target {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) { // overflow bucket: no upper bound to interpolate to
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (target - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is a named collection of metrics. All lookup methods are
+// get-or-create and safe for concurrent use; creating a name twice returns
+// the same instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Func registers a callback gauge: f is invoked at exposition time. Useful
+// for values owned elsewhere (e.g. artifact-store hit counts).
+func (r *Registry) Func(name string, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = f
+}
+
+// WriteText renders every metric as "name value" lines sorted by name.
+// Histograms expand to _count, _sum, _p50, _p90, _p99 series.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+5*len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+	}
+	for name, f := range r.funcs {
+		lines = append(lines, fmt.Sprintf("%s %d", name, f()))
+	}
+	for name, h := range r.hists {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, h.Count()),
+			fmt.Sprintf("%s_sum %.3f", name, h.Sum()),
+			fmt.Sprintf("%s_p50 %.3f", name, h.Quantile(0.50)),
+			fmt.Sprintf("%s_p90 %.3f", name, h.Quantile(0.90)),
+			fmt.Sprintf("%s_p99 %.3f", name, h.Quantile(0.99)))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	return err
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	g := r.Gauge("depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Fatalf("SetMax high-water = %d, want 5", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("SetMax high-water = %d, want 9", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // third bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 10 {
+		t.Fatalf("p50 = %v, want within (0, 10]", q)
+	}
+	if q := h.Quantile(0.99); q <= 100 || q > 1000 {
+		t.Fatalf("p99 = %v, want within (100, 1000]", q)
+	}
+	// Overflow bucket reports the top bound.
+	h.Observe(1e9)
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Fatalf("overflow quantile = %v, want 1000", q)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter").Add(2)
+	r.Gauge("a_gauge").Set(7)
+	r.Func("c_func", func() int64 { return 42 })
+	r.Histogram("lat_ms", LatencyBuckets).Observe(3)
+	var sb1, sb2 strings.Builder
+	if err := r.WriteText(&sb1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb1.String() != sb2.String() {
+		t.Fatal("two expositions of the same registry differ")
+	}
+	out := sb1.String()
+	for _, want := range []string{"a_gauge 7", "b_counter 2", "c_func 42", "lat_ms_count 1", "lat_ms_p50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Fatalf("exposition lines not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// maxTraceBody bounds an uploaded binary trace (256 MB).
+const maxTraceBody = 256 << 20
+
+// NewHandler returns the websliced HTTP API over a manager:
+//
+//	POST   /jobs            submit a site job (JSON Spec)     -> 202 {id}
+//	POST   /jobs/trace      submit a binary trace (?criteria) -> 202 {id}
+//	GET    /jobs            list jobs                         -> 200 [Info]
+//	GET    /jobs/{id}        job status                       -> 200 Info
+//	GET    /jobs/{id}/result finished job result              -> 200 Result
+//	DELETE /jobs/{id}        cancel                           -> 200
+//	GET    /healthz         liveness                          -> 200
+//	GET    /metrics         text exposition of the registry   -> 200
+//
+// Backpressure surfaces as HTTP 429 (queue full) and shutdown as 503.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+			return
+		}
+		submit(m, w, spec)
+	})
+
+	mux.HandleFunc("POST /jobs/trace", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("reading trace body: %w", err))
+			return
+		}
+		submit(m, w, Spec{Trace: body, Criteria: r.URL.Query().Get("criteria")})
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+		writeJSON(w, http.StatusOK, jobs)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := m.Info(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		info, ok := m.Info(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+			return
+		}
+		res, ok := m.Result(id)
+		if !ok {
+			httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", id, info.Status))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !m.Cancel(id) {
+			httpError(w, http.StatusConflict, fmt.Errorf("job %q unknown or already finished", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "canceling"})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": m.Workers()})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		m.Metrics().WriteText(w)
+	})
+
+	return mux
+}
+
+func submit(m *Manager, w http.ResponseWriter, spec Spec) {
+	id, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,248 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer wires a manager with a fast stub runner behind the HTTP API.
+func testServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	if cfg.Runner == nil {
+		cfg.Runner = func(spec Spec, canceled func() bool) (*Result, error) {
+			return &Result{Criteria: spec.Criteria, Total: 100, SliceCount: 42, SlicePct: 42}, nil
+		}
+	}
+	m := New(cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() { srv.Close(); m.Close() })
+	return srv, m
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	resp := postJSON(t, srv.URL+"/jobs", Spec{Site: "amazon-desktop", Criteria: "pixels"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	readJSON(t, resp, &sub)
+	if sub.ID == "" {
+		t.Fatal("no job id returned")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var info Info
+	for {
+		r, err := http.Get(srv.URL + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readJSON(t, r, &info)
+		if info.Status.Terminal() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if info.Status != StatusDone {
+		t.Fatalf("job = %s, want done", info.Status)
+	}
+
+	r, err := http.Get(srv.URL + "/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d, want 200", r.StatusCode)
+	}
+	var res Result
+	readJSON(t, r, &res)
+	if res.SliceCount != 42 {
+		t.Fatalf("result = %+v, want the stub's 42", res)
+	}
+
+	// Job listing includes it.
+	r, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Info
+	readJSON(t, r, &list)
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("list = %+v, want the one job", list)
+	}
+}
+
+func TestHTTPBackpressureAndErrors(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv, m := testServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+			<-block
+			return &Result{}, nil
+		},
+	})
+
+	resp := postJSON(t, srv.URL+"/jobs", Spec{Site: "maps"})
+	var sub struct {
+		ID string `json:"id"`
+	}
+	readJSON(t, resp, &sub)
+	waitStatus(t, m, sub.ID, StatusRunning)
+	resp = postJSON(t, srv.URL+"/jobs", Spec{Site: "maps"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202 (queued)", resp.StatusCode)
+	}
+
+	// Queue full: 429 with Retry-After and a JSON error body.
+	resp = postJSON(t, srv.URL+"/jobs", Spec{Site: "maps"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	readJSON(t, resp, &e)
+	if !strings.Contains(e.Error, "queue full") {
+		t.Fatalf("429 body = %q, want queue-full error", e.Error)
+	}
+
+	// Bad requests.
+	resp = postJSON(t, srv.URL+"/jobs", Spec{Site: "no-such-site"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad site = %d, want 400", resp.StatusCode)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json = %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown job: 404. Unfinished result: 409.
+	r, _ := http.Get(srv.URL + "/jobs/j999999")
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", r.StatusCode)
+	}
+	r, _ = http.Get(srv.URL + "/jobs/" + sub.ID + "/result")
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("result of running job = %d, want 409", r.StatusCode)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	srv, m := testServer(t, Config{
+		Workers:    1,
+		QueueDepth: 4,
+		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+			<-block
+			return &Result{}, nil
+		},
+	})
+	resp := postJSON(t, srv.URL+"/jobs", Spec{Site: "bing"})
+	var a struct {
+		ID string `json:"id"`
+	}
+	readJSON(t, resp, &a)
+	waitStatus(t, m, a.ID, StatusRunning)
+	resp = postJSON(t, srv.URL+"/jobs", Spec{Site: "bing"})
+	var b struct {
+		ID string `json:"id"`
+	}
+	readJSON(t, resp, &b)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+b.ID, nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d, want 200", r.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/jobs/nope", nil)
+	r, _ = http.DefaultClient.Do(req)
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel unknown = %d, want 409", r.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	srv, m := testServer(t, Config{Workers: 3})
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	readJSON(t, r, &h)
+	if h.Status != "ok" || h.Workers != 3 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	resp := postJSON(t, srv.URL+"/jobs", Spec{Site: "maps"})
+	var sub struct {
+		ID string `json:"id"`
+	}
+	readJSON(t, resp, &sub)
+	waitStatus(t, m, sub.ID, StatusDone)
+
+	r, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	text := string(body)
+	for _, want := range []string{"jobs_submitted 1", "jobs_done 1", "queue_wait_ms_count 1", "slice_ms_p50"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+}

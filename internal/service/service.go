@@ -1,0 +1,484 @@
+// Package service turns the one-shot profiler into a slicing service: a
+// bounded job queue feeds a pool of workers that render (or decode)
+// traces, slice them through the content-addressed artifact store, and
+// publish per-job status. Backpressure is explicit — a full queue rejects
+// with ErrQueueFull instead of blocking the caller — and shutdown drains
+// every accepted job before Close returns.
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"webslice/internal/analysis"
+	"webslice/internal/browser"
+	"webslice/internal/core"
+	"webslice/internal/metrics"
+	"webslice/internal/sites"
+	"webslice/internal/slicer"
+	"webslice/internal/store"
+	"webslice/internal/trace"
+)
+
+// Spec describes one slicing job: either a named benchmark site to render
+// or an already-encoded trace.
+type Spec struct {
+	// Site is a benchmark name (sites.ByName). Ignored when Trace is set.
+	Site string `json:"site,omitempty"`
+	// Scale is the workload scale for rendered sites; 0 means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// Criteria selects the slicing criterion: "pixels" (default) or
+	// "syscalls".
+	Criteria string `json:"criteria,omitempty"`
+	// Trace is a binary WSLT trace to slice instead of rendering a site.
+	Trace []byte `json:"-"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// ThreadStat is the per-thread slice breakdown of a finished job.
+type ThreadStat struct {
+	ID     uint8  `json:"id"`
+	Name   string `json:"name"`
+	Total  int    `json:"total"`
+	Sliced int    `json:"sliced"`
+}
+
+// Result is what a finished job reports.
+type Result struct {
+	TraceKey   string             `json:"trace_key,omitempty"`
+	Criteria   string             `json:"criteria"`
+	Total      int                `json:"total_instructions"`
+	SliceCount int                `json:"slice_instructions"`
+	SlicePct   float64            `json:"slice_pct"`
+	CacheHit   bool               `json:"cache_hit"`
+	Threads    []ThreadStat       `json:"threads,omitempty"`
+	Categories map[string]float64 `json:"categories,omitempty"`
+}
+
+// Info is a point-in-time snapshot of a job.
+type Info struct {
+	ID       string  `json:"id"`
+	Status   Status  `json:"status"`
+	Site     string  `json:"site,omitempty"`
+	Criteria string  `json:"criteria"`
+	Error    string  `json:"error,omitempty"`
+	CacheHit bool    `json:"cache_hit"`
+	QueueMs  float64 `json:"queue_ms"`
+	RunMs    float64 `json:"run_ms"`
+}
+
+// Typed submission/lifecycle errors.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded queue is at
+	// capacity and the caller should retry later (HTTP maps it to 429).
+	ErrQueueFull = errors.New("service: queue full")
+	// ErrClosed rejects submissions after shutdown began.
+	ErrClosed = errors.New("service: shutting down")
+	// ErrCanceled is the terminal error of a canceled job.
+	ErrCanceled = errors.New("service: job canceled")
+)
+
+// Runner executes one job. canceled can be polled between phases to honor
+// cancellation. The default runner renders/decodes and slices; tests and
+// alternative backends may substitute their own.
+type Runner func(spec Spec, canceled func() bool) (*Result, error)
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the parallel worker count (default 4).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 64). A full queue rejects with ErrQueueFull.
+	QueueDepth int
+	// Store, when set, caches forward-pass artifacts and slice results so
+	// repeat jobs over identical traces skip both passes.
+	Store *store.Store
+	// Metrics receives the service counters; nil creates a private
+	// registry (reachable via Manager.Metrics).
+	Metrics *metrics.Registry
+	// Runner overrides the job execution pipeline (tests, other backends).
+	Runner Runner
+}
+
+type job struct {
+	id   string
+	spec Spec
+
+	mu       sync.Mutex
+	status   Status
+	err      string
+	result   *Result
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel bool
+}
+
+func (j *job) canceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancel
+}
+
+// Manager owns the queue, the worker pool, and the job table.
+type Manager struct {
+	cfg   Config
+	reg   *metrics.Registry
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+
+	mSubmitted, mDone, mFailed, mRejected, mCanceled *metrics.Counter
+	gRunning, gPeak, gQueueDepth                     *metrics.Gauge
+	hQueueWait, hRun                                 *metrics.Histogram
+}
+
+// New starts a manager and its workers.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := &Manager{
+		cfg:         cfg,
+		reg:         reg,
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobs:        make(map[string]*job),
+		mSubmitted:  reg.Counter("jobs_submitted"),
+		mDone:       reg.Counter("jobs_done"),
+		mFailed:     reg.Counter("jobs_failed"),
+		mRejected:   reg.Counter("jobs_rejected"),
+		mCanceled:   reg.Counter("jobs_canceled"),
+		gRunning:    reg.Gauge("jobs_running"),
+		gPeak:       reg.Gauge("jobs_running_peak"),
+		gQueueDepth: reg.Gauge("queue_depth"),
+		hQueueWait:  reg.Histogram("queue_wait_ms", metrics.LatencyBuckets),
+		hRun:        reg.Histogram("slice_ms", metrics.LatencyBuckets),
+	}
+	if cfg.Runner == nil {
+		m.cfg.Runner = m.run
+	}
+	if cfg.Store != nil {
+		reg.Func("store_hits", func() int64 { return cfg.Store.Stats().Hits })
+		reg.Func("store_misses", func() int64 { return cfg.Store.Stats().Misses })
+		reg.Func("store_mem_hits", func() int64 { return cfg.Store.Stats().MemHits })
+		reg.Func("store_disk_hits", func() int64 { return cfg.Store.Stats().DiskHits })
+		reg.Func("store_puts", func() int64 { return cfg.Store.Stats().Puts })
+		reg.Func("store_evicted", func() int64 { return cfg.Store.Stats().Evicted })
+		reg.Func("store_corrupt", func() int64 { return cfg.Store.Stats().Corrupt })
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics returns the registry the manager publishes into.
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+// Store returns the attached artifact store (may be nil).
+func (m *Manager) Store() *store.Store { return m.cfg.Store }
+
+// Workers returns the worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Submit validates and enqueues a job, returning its ID. A full queue
+// fails fast with ErrQueueFull; after Close it fails with ErrClosed.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	if err := validate(&spec); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return "", ErrClosed
+	}
+	m.nextID++
+	j := &job{
+		id:       fmt.Sprintf("j%06d", m.nextID),
+		spec:     spec,
+		status:   StatusQueued,
+		enqueued: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID-- // rejected jobs don't consume IDs
+		m.mRejected.Inc()
+		return "", ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.mSubmitted.Inc()
+	m.gQueueDepth.Set(int64(len(m.queue)))
+	return j.id, nil
+}
+
+func validate(spec *Spec) error {
+	switch spec.Criteria {
+	case "":
+		spec.Criteria = "pixels"
+	case "pixels", "syscalls":
+	default:
+		return fmt.Errorf("service: unknown criteria %q (want pixels or syscalls)", spec.Criteria)
+	}
+	if len(spec.Trace) > 0 {
+		return nil
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 1.0
+	}
+	_, err := sites.ByName(spec.Site, sites.Options{})
+	return err
+}
+
+// Info returns a snapshot of the job.
+func (m *Manager) Info(id string) (Info, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Info{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:       j.id,
+		Status:   j.status,
+		Site:     j.spec.Site,
+		Criteria: j.spec.Criteria,
+		Error:    j.err,
+	}
+	if j.result != nil {
+		info.CacheHit = j.result.CacheHit
+	}
+	if !j.started.IsZero() {
+		info.QueueMs = float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		info.RunMs = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return info, true
+}
+
+// Result returns a finished job's result (ok is false if the job is
+// unknown or not done).
+func (m *Manager) Result(id string) (*Result, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Cancel marks a job canceled. A queued job never runs; a running job is
+// stopped at its next phase boundary. Returns false for unknown or
+// already-terminal jobs.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
+	j.cancel = true
+	return true
+}
+
+// Jobs lists snapshots of every known job (unspecified order).
+func (m *Manager) Jobs() []Info {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	out := make([]Info, 0, len(ids))
+	for _, id := range ids {
+		if info, ok := m.Info(id); ok {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Close stops accepting jobs, drains everything already accepted (queued
+// jobs run to completion), and returns once every worker has exited.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.gQueueDepth.Set(int64(len(m.queue)))
+		now := time.Now()
+		j.mu.Lock()
+		if j.cancel {
+			j.status = StatusCanceled
+			j.err = ErrCanceled.Error()
+			j.finished = now
+			j.mu.Unlock()
+			m.mCanceled.Inc()
+			continue
+		}
+		j.status = StatusRunning
+		j.started = now
+		j.mu.Unlock()
+		m.hQueueWait.Observe(float64(now.Sub(j.enqueued)) / float64(time.Millisecond))
+		m.gPeak.SetMax(m.gRunning.Add(1))
+
+		res, err := m.cfg.Runner(j.spec, j.canceled)
+
+		m.gRunning.Add(-1)
+		end := time.Now()
+		m.hRun.Observe(float64(end.Sub(j.started)) / float64(time.Millisecond))
+		j.mu.Lock()
+		j.finished = end
+		switch {
+		case errors.Is(err, ErrCanceled):
+			j.status = StatusCanceled
+			j.err = err.Error()
+			m.mCanceled.Inc()
+		case err != nil:
+			j.status = StatusFailed
+			j.err = err.Error()
+			m.mFailed.Inc()
+		default:
+			j.status = StatusDone
+			j.result = res
+			m.mDone.Inc()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// run is the default pipeline: obtain the trace (decode or render), attach
+// the store, slice through the cache, and package the statistics.
+func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
+	t, err := obtainTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	if canceled() {
+		return nil, ErrCanceled
+	}
+	p := core.NewProfiler(t)
+	p.Opts.ProgressPoints = 160
+	p.Opts.MainThread = browser.MainThread
+	key := ""
+	if m.cfg.Store != nil {
+		if err := p.UseStore(m.cfg.Store); err != nil {
+			return nil, err
+		}
+		key = p.Key()
+	}
+	var crit slicer.Criteria = slicer.PixelCriteria{}
+	if spec.Criteria == "syscalls" {
+		crit = slicer.SyscallCriteria{}
+	}
+	res, hit, err := p.SliceCached(crit, p.Opts)
+	if err != nil {
+		return nil, err
+	}
+	if canceled() {
+		return nil, ErrCanceled
+	}
+	out := &Result{
+		TraceKey:   key,
+		Criteria:   res.Criteria,
+		Total:      res.Total,
+		SliceCount: res.SliceCount,
+		SlicePct:   res.Percent(),
+		CacheHit:   hit,
+		Categories: make(map[string]float64, len(analysis.Categories)),
+	}
+	for _, th := range t.Threads {
+		out.Threads = append(out.Threads, ThreadStat{
+			ID:     th.ID,
+			Name:   th.Name,
+			Total:  res.ByThread[th.ID],
+			Sliced: res.SliceByThread[th.ID],
+		})
+	}
+	dist := analysis.Categorize(t, res)
+	for _, c := range analysis.Categories {
+		out.Categories[c] = dist.Share[c]
+	}
+	return out, nil
+}
+
+func obtainTrace(spec Spec) (*trace.Trace, error) {
+	if len(spec.Trace) > 0 {
+		t, err := trace.Read(bytes.NewReader(spec.Trace))
+		if err != nil {
+			return nil, fmt.Errorf("service: decoding submitted trace: %w", err)
+		}
+		return t, nil
+	}
+	b, err := sites.ByName(spec.Site, sites.Options{Scale: spec.Scale})
+	if err != nil {
+		return nil, err
+	}
+	br := browser.New(b.Site, b.Profile)
+	if b.Faults != nil {
+		br.Loader.SetFaults(b.Faults)
+	}
+	br.RunSession()
+	if len(br.Errors) > 0 {
+		return nil, fmt.Errorf("service: rendering %s: %w", b.Name, br.Errors[0])
+	}
+	return br.M.Tr, nil
+}

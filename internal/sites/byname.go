@@ -1,0 +1,27 @@
+package sites
+
+import "fmt"
+
+// ByName returns the named benchmark — the lookup the CLI and the slicing
+// service share. Bing is always a load-and-browse session (its definition
+// depends on the browse actions), the other sites honor o.Browse.
+func ByName(name string, o Options) (Benchmark, error) {
+	switch name {
+	case "amazon-desktop":
+		return AmazonDesktop(o), nil
+	case "amazon-mobile":
+		return AmazonMobile(o), nil
+	case "maps":
+		return GoogleMaps(o), nil
+	case "bing":
+		o.Browse = true
+		return Bing(o), nil
+	default:
+		return Benchmark{}, fmt.Errorf("unknown site %q (want one of %v)", name, Names())
+	}
+}
+
+// Names lists the benchmark names ByName accepts.
+func Names() []string {
+	return []string{"amazon-desktop", "amazon-mobile", "maps", "bing"}
+}

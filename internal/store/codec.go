@@ -1,0 +1,364 @@
+// Deterministic codecs for the artifacts the store holds. Both codecs sort
+// every map before writing so that encoding the same logical artifact
+// always yields the same bytes — the property that makes content-addressed
+// caching and the determinism tests meaningful (gob, by contrast, walks
+// maps in random order).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"webslice/internal/cdg"
+	"webslice/internal/slicer"
+	"webslice/internal/trace"
+)
+
+// Artifact kinds. Slice artifacts append a variant (criteria + options
+// fingerprint) via SliceVariant.
+const (
+	KindDeps  = "cdg"
+	KindSlice = "slice"
+)
+
+// TraceKey returns the content address of a trace: the hex SHA-256 of its
+// canonical serialization (trace.Write). Decoding and re-encoding a trace
+// reproduces the same bytes, so the key survives a round trip through the
+// wire format — the invariant the determinism tests pin down.
+func TraceKey(t *trace.Trace) (string, error) {
+	h := sha256.New()
+	if err := t.Write(h); err != nil {
+		return "", fmt.Errorf("store: hashing trace: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// KeyBytes returns the hex SHA-256 of raw bytes (for hashing an already-
+// encoded trace without decoding it).
+func KeyBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// SliceVariant fingerprints a slice computation: criteria name plus every
+// option that changes the result. Two calls agree iff the slice bytes
+// would agree.
+func SliceVariant(criteria string, opts slicer.Options) string {
+	v := fmt.Sprintf("%s-%s-pp%d-mt%d", KindSlice, criteria, opts.ProgressPoints, opts.MainThread)
+	if opts.NoControlDeps {
+		v += "-nocdg"
+	}
+	return v
+}
+
+// --- cdg.Deps codec ---
+
+// EncodeDeps serializes a control dependence graph: entry count, then per
+// PC (ascending) the PC, its dependence count, and the sorted branch PCs.
+func EncodeDeps(d *cdg.Deps) []byte {
+	pcs := make([]uint32, 0, len(d.ByPC))
+	for pc := range d.ByPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	out := binary.AppendUvarint(nil, uint64(len(pcs)))
+	for _, pc := range pcs {
+		deps := d.ByPC[pc]
+		out = binary.AppendUvarint(out, uint64(pc))
+		out = binary.AppendUvarint(out, uint64(len(deps)))
+		for _, b := range deps {
+			out = binary.AppendUvarint(out, uint64(b))
+		}
+	}
+	return out
+}
+
+// byteReader walks an encoded artifact with bounds-checked varint reads.
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("store: bad or truncated uvarint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) u32() (uint32, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("store: value %d overflows uint32 at offset %d", v, r.pos)
+	}
+	return uint32(v), nil
+}
+
+// count reads an element count, rejecting values that cannot fit in the
+// remaining bytes at minBytes per element (mirrors the trace decoder).
+func (r *byteReader) count(minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes > 0 && v > uint64((len(r.buf)-r.pos)/minBytes) {
+		return 0, fmt.Errorf("store: count %d impossible: %d bytes remain", v, len(r.buf)-r.pos)
+	}
+	return int(v), nil
+}
+
+// DecodeDeps reverses EncodeDeps.
+func DecodeDeps(b []byte) (*cdg.Deps, error) {
+	r := &byteReader{buf: b}
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	d := &cdg.Deps{ByPC: make(map[uint32][]uint32, n)}
+	for i := 0; i < n; i++ {
+		pc, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		nd, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		deps := make([]uint32, nd)
+		for j := range deps {
+			if deps[j], err = r.u32(); err != nil {
+				return nil, err
+			}
+		}
+		d.ByPC[pc] = deps
+	}
+	return d, nil
+}
+
+// --- slicer.Result codec ---
+
+// EncodeResult serializes a slice result with every statistic the service
+// reports: the bitset, per-thread and per-function counts (sorted by key),
+// the progress curve, and the pending-branch residue.
+func EncodeResult(r *slicer.Result) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(r.Criteria)))
+	out = append(out, r.Criteria...)
+	out = binary.AppendUvarint(out, uint64(r.Total))
+	out = binary.AppendUvarint(out, uint64(r.SliceCount))
+	out = binary.AppendUvarint(out, uint64(r.PendingLeft))
+
+	out = binary.AppendUvarint(out, uint64(len(r.InSlice)))
+	for _, w := range r.InSlice {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+
+	out = appendThreadMap(out, r.ByThread)
+	out = appendThreadMap(out, r.SliceByThread)
+	out = appendFuncMap(out, r.ByFunc)
+	out = appendFuncMap(out, r.SliceByFunc)
+
+	out = binary.AppendUvarint(out, uint64(len(r.Progress)))
+	for _, p := range r.Progress {
+		out = binary.AppendUvarint(out, uint64(p.Processed))
+		out = binary.AppendUvarint(out, uint64(p.Sliced))
+		out = binary.AppendUvarint(out, uint64(p.MainProcessed))
+		out = binary.AppendUvarint(out, uint64(p.MainSliced))
+	}
+	return out
+}
+
+func appendThreadMap(out []byte, m map[uint8]int) []byte {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	out = binary.AppendUvarint(out, uint64(len(keys)))
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(k))
+		out = binary.AppendUvarint(out, uint64(m[uint8(k)]))
+	}
+	return out
+}
+
+func appendFuncMap(out []byte, m map[trace.FuncID]int) []byte {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, uint32(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out = binary.AppendUvarint(out, uint64(len(keys)))
+	for _, k := range keys {
+		out = binary.AppendUvarint(out, uint64(k))
+		out = binary.AppendUvarint(out, uint64(m[trace.FuncID(k)]))
+	}
+	return out
+}
+
+// DecodeResult reverses EncodeResult.
+func DecodeResult(b []byte) (*slicer.Result, error) {
+	r := &byteReader{buf: b}
+	nameLen, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos+nameLen > len(b) {
+		return nil, errors.New("store: criteria name overruns the artifact")
+	}
+	res := &slicer.Result{Criteria: string(b[r.pos : r.pos+nameLen])}
+	r.pos += nameLen
+
+	total, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	res.Total = int(total)
+	sc, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	res.SliceCount = int(sc)
+	pl, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	res.PendingLeft = int(pl)
+
+	nw, err := r.count(8)
+	if err != nil {
+		return nil, err
+	}
+	res.InSlice = make(slicer.Bitset, nw)
+	for i := range res.InSlice {
+		if r.pos+8 > len(b) {
+			return nil, errors.New("store: bitset truncated")
+		}
+		res.InSlice[i] = binary.LittleEndian.Uint64(b[r.pos:])
+		r.pos += 8
+	}
+
+	if res.ByThread, err = readThreadMap(r); err != nil {
+		return nil, err
+	}
+	if res.SliceByThread, err = readThreadMap(r); err != nil {
+		return nil, err
+	}
+	if res.ByFunc, err = readFuncMap(r); err != nil {
+		return nil, err
+	}
+	if res.SliceByFunc, err = readFuncMap(r); err != nil {
+		return nil, err
+	}
+
+	np, err := r.count(4)
+	if err != nil {
+		return nil, err
+	}
+	if np > 0 {
+		res.Progress = make([]slicer.ProgressPoint, np)
+	}
+	for i := range res.Progress {
+		vals := [4]uint64{}
+		for j := range vals {
+			if vals[j], err = r.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+		res.Progress[i] = slicer.ProgressPoint{
+			Processed: int(vals[0]), Sliced: int(vals[1]),
+			MainProcessed: int(vals[2]), MainSliced: int(vals[3]),
+		}
+	}
+	return res, nil
+}
+
+func readThreadMap(r *byteReader) (map[uint8]int, error) {
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[uint8]int, n)
+	for i := 0; i < n; i++ {
+		k, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if k > 255 {
+			return nil, fmt.Errorf("store: thread id %d out of range", k)
+		}
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m[uint8(k)] = int(v)
+	}
+	return m, nil
+}
+
+func readFuncMap(r *byteReader) (map[trace.FuncID]int, error) {
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[trace.FuncID]int, n)
+	for i := 0; i < n; i++ {
+		k, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m[trace.FuncID(k)] = int(v)
+	}
+	return m, nil
+}
+
+// --- typed store helpers ---
+
+// PutDeps stores a control dependence graph under the trace key.
+func (s *Store) PutDeps(traceKey string, d *cdg.Deps) error {
+	return s.Put(KindDeps, traceKey, EncodeDeps(d))
+}
+
+// GetDeps fetches the control dependence graph cached for a trace.
+func (s *Store) GetDeps(traceKey string) (*cdg.Deps, bool, error) {
+	b, ok, err := s.Get(KindDeps, traceKey)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	d, err := DecodeDeps(b)
+	if err != nil {
+		return nil, false, err
+	}
+	return d, true, nil
+}
+
+// PutSlice stores a slice result under (variant, trace key). Use
+// SliceVariant to build the variant string.
+func (s *Store) PutSlice(traceKey, variant string, r *slicer.Result) error {
+	return s.Put(variant, traceKey, EncodeResult(r))
+}
+
+// GetSlice fetches a cached slice result.
+func (s *Store) GetSlice(traceKey, variant string) (*slicer.Result, bool, error) {
+	b, ok, err := s.Get(variant, traceKey)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	r, err := DecodeResult(b)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, true, nil
+}

@@ -1,0 +1,274 @@
+// Package store is the content-addressed artifact store behind the slicing
+// service. Artifacts — forward-pass products (control dependence graphs)
+// and finished slice results — are keyed by the SHA-256 of the encoded
+// trace they derive from, so a repeat analysis of an identical trace is a
+// lookup instead of a recomputation (the paper stores its forward pass "in
+// stable storage" for exactly this reuse; see DESIGN.md).
+//
+// Blobs live in a byte-bounded in-memory LRU layer over optional disk
+// persistence. Disk blobs carry the trace format's CRC32 integrity
+// trailer, are written atomically (temp file + rename), and a corrupt blob
+// is reported and deleted rather than decoded into garbage.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Blob envelope: magic, one version byte, payload, then the same trailer
+// shape as the trace format ("WSCK" + little-endian CRC32 of everything
+// before it).
+var (
+	blobMagic    = [4]byte{'W', 'S', 'A', 'B'}
+	trailerMagic = [4]byte{'W', 'S', 'C', 'K'}
+)
+
+const (
+	blobVersion = 1
+	headerSize  = 5 // magic + version
+	trailerSize = 8 // trailer magic + CRC32
+)
+
+// ErrCorrupt reports a blob whose checksum or framing failed verification.
+// The damaged file is removed so the next Get is a clean miss.
+var ErrCorrupt = errors.New("store: corrupt artifact")
+
+// Stats is a point-in-time snapshot of store activity.
+type Stats struct {
+	Hits     int64 // Gets served (memory or disk)
+	Misses   int64 // Gets that found nothing
+	MemHits  int64 // Gets served from the LRU layer
+	DiskHits int64 // Gets that had to read the disk layer
+	Puts     int64 // artifacts written
+	Evicted  int64 // entries pushed out of the LRU layer
+	Corrupt  int64 // blobs that failed CRC or framing checks
+}
+
+// Store is a content-addressed artifact store with an in-memory LRU layer
+// and optional disk persistence. All methods are safe for concurrent use.
+type Store struct {
+	dir    string // "" = memory only
+	maxMem int64  // LRU byte budget
+
+	mu       sync.Mutex
+	mem      map[string]*list.Element // artifact name -> LRU element
+	lru      *list.List               // front = most recently used
+	memBytes int64
+
+	hits, misses, memHits, diskHits, puts, evicted, corrupt atomic.Int64
+}
+
+type memEntry struct {
+	name string
+	data []byte
+}
+
+// DefaultMemBytes is the LRU budget used when Open is given maxMem <= 0.
+const DefaultMemBytes = 64 << 20
+
+// Open returns a store rooted at dir, creating it if needed. An empty dir
+// yields a memory-only store (artifacts vanish when evicted). maxMem
+// bounds the in-memory layer in bytes; <= 0 selects DefaultMemBytes.
+func Open(dir string, maxMem int64) (*Store, error) {
+	if maxMem <= 0 {
+		maxMem = DefaultMemBytes
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{dir: dir, maxMem: maxMem, mem: make(map[string]*list.Element), lru: list.New()}, nil
+}
+
+// Dir returns the disk root ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// name builds the artifact identity from a kind and a content key. Both
+// must stay within [a-zA-Z0-9._-]; anything else is replaced so the name
+// is always a safe single path component.
+func name(kind, key string) string {
+	return sanitize(kind) + "-" + sanitize(key)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name+".wsab") }
+
+// Put stores an artifact under (kind, key), overwriting any previous
+// version, in both the LRU layer and (if configured) on disk. The disk
+// write is atomic: a temp file in the same directory renamed into place.
+func (s *Store) Put(kind, key string, data []byte) error {
+	n := name(kind, key)
+	if s.dir != "" {
+		blob := seal(data)
+		tmp, err := os.CreateTemp(s.dir, ".tmp-"+n+"-*")
+		if err != nil {
+			return fmt.Errorf("store: put %s: %w", n, err)
+		}
+		_, werr := tmp.Write(blob)
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), s.path(n))
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: put %s: %w", n, werr)
+		}
+	}
+	// The LRU keeps its own copy so later caller mutations can't alias in.
+	s.memInsert(n, append([]byte(nil), data...))
+	s.puts.Add(1)
+	return nil
+}
+
+// Get fetches the artifact stored under (kind, key). The second return is
+// false on a miss. A corrupt disk blob yields (nil, false, ErrCorrupt-
+// wrapped error) and the damaged file is removed.
+func (s *Store) Get(kind, key string) ([]byte, bool, error) {
+	n := name(kind, key)
+	s.mu.Lock()
+	if el, ok := s.mem[n]; ok {
+		s.lru.MoveToFront(el)
+		data := el.Value.(*memEntry).data
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		s.hits.Add(1)
+		return data, true, nil
+	}
+	s.mu.Unlock()
+	if s.dir == "" {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	blob, err := os.ReadFile(s.path(n))
+	if errors.Is(err, os.ErrNotExist) {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: get %s: %w", n, err)
+	}
+	data, err := unseal(blob)
+	if err != nil {
+		s.corrupt.Add(1)
+		os.Remove(s.path(n))
+		return nil, false, fmt.Errorf("store: get %s: %w", n, err)
+	}
+	s.memInsert(n, data)
+	s.diskHits.Add(1)
+	s.hits.Add(1)
+	return data, true, nil
+}
+
+// Has reports whether the artifact exists without promoting it in the LRU
+// or counting a hit/miss.
+func (s *Store) Has(kind, key string) bool {
+	n := name(kind, key)
+	s.mu.Lock()
+	_, ok := s.mem[n]
+	s.mu.Unlock()
+	if ok || s.dir == "" {
+		return ok
+	}
+	_, err := os.Stat(s.path(n))
+	return err == nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		MemHits:  s.memHits.Load(),
+		DiskHits: s.diskHits.Load(),
+		Puts:     s.puts.Load(),
+		Evicted:  s.evicted.Load(),
+		Corrupt:  s.corrupt.Load(),
+	}
+}
+
+// MemBytes returns the bytes currently held by the LRU layer.
+func (s *Store) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytes
+}
+
+func (s *Store) memInsert(n string, data []byte) {
+	s.mu.Lock()
+	if el, ok := s.mem[n]; ok {
+		s.memBytes += int64(len(data)) - int64(len(el.Value.(*memEntry).data))
+		el.Value.(*memEntry).data = data
+		s.lru.MoveToFront(el)
+	} else {
+		s.mem[n] = s.lru.PushFront(&memEntry{name: n, data: data})
+		s.memBytes += int64(len(data))
+	}
+	// Evict from the back until within budget; always keep the newest entry
+	// so a single oversized artifact still caches.
+	for s.memBytes > s.maxMem && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		e := el.Value.(*memEntry)
+		s.lru.Remove(el)
+		delete(s.mem, e.name)
+		s.memBytes -= int64(len(e.data))
+		s.evicted.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// seal wraps payload in the blob envelope: header, payload, CRC trailer.
+func seal(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload)+trailerSize)
+	out = append(out, blobMagic[:]...)
+	out = append(out, blobVersion)
+	out = append(out, payload...)
+	crc := crc32.ChecksumIEEE(out)
+	out = append(out, trailerMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, crc)
+	return out
+}
+
+// unseal verifies the envelope and returns the payload.
+func unseal(blob []byte) ([]byte, error) {
+	if len(blob) < headerSize+trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(blob))
+	}
+	if [4]byte(blob[:4]) != blobMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if blob[4] != blobVersion {
+		return nil, fmt.Errorf("%w: unsupported blob version %d", ErrCorrupt, blob[4])
+	}
+	body, tr := blob[:len(blob)-trailerSize], blob[len(blob)-trailerSize:]
+	if [4]byte(tr[:4]) != trailerMagic {
+		return nil, fmt.Errorf("%w: checksum trailer missing", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(tr[4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch (file says %08x, contents hash to %08x)", ErrCorrupt, want, got)
+	}
+	return body[headerSize:], nil
+}

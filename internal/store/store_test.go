@@ -1,0 +1,263 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webslice/internal/cdg"
+	"webslice/internal/slicer"
+	"webslice/internal/trace"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("forward-pass artifact")
+	if err := s.Put("cdg", "abc123", data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("cdg", "abc123")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v, %v", got, ok, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get returned %q, want %q", got, data)
+	}
+	if _, ok, _ := s.Get("cdg", "missing"); ok {
+		t.Fatal("Get of a missing key reported ok")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.MemHits != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 mem hit / 1 put", st)
+	}
+}
+
+func TestDiskPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir, 0)
+	if err := s1.Put("slice", "k1", []byte("result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory — cold memory layer — must
+	// serve the artifact from disk.
+	s2, _ := Open(dir, 0)
+	got, ok, err := s2.Get("slice", "k1")
+	if err != nil || !ok || string(got) != "result bytes" {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("stats = %+v, want the hit to come from disk", st)
+	}
+	// And now it is promoted into memory.
+	if _, ok, _ := s2.Get("slice", "k1"); !ok {
+		t.Fatal("promoted Get missed")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want a mem hit after promotion", st)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	if err := s.Put("cdg", "victim", bytes.Repeat([]byte{0xAA}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit on disk, then read through a cold store.
+	path := filepath.Join(dir, "cdg-victim.wsab")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold, _ := Open(dir, 0)
+	_, ok, err := cold.Get("cdg", "victim")
+	if ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of corrupt blob = ok=%v err=%v, want ErrCorrupt", ok, err)
+	}
+	if st := cold.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt", st)
+	}
+	// The damaged file was removed: the next Get is a clean miss.
+	if _, ok, err := cold.Get("cdg", "victim"); ok || err != nil {
+		t.Fatalf("Get after corruption cleanup = ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	for i := 0; i < 10; i++ {
+		if err := s.Put("cdg", "k", bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want exactly the artifact", len(entries))
+	}
+}
+
+func TestLRUEvictionFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 1024) // tiny memory budget
+	big := bytes.Repeat([]byte{0x42}, 600)
+	if err := s.Put("slice", "old", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("slice", "new", big); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evicted == 0 {
+		t.Fatalf("stats = %+v, want evictions under a 1KB budget", st)
+	}
+	if s.MemBytes() > 1024 {
+		t.Fatalf("mem layer holds %d bytes, budget is 1024", s.MemBytes())
+	}
+	// The evicted artifact is still served — from disk.
+	got, ok, err := s.Get("slice", "old")
+	if err != nil || !ok || !bytes.Equal(got, big) {
+		t.Fatalf("evicted artifact not recovered from disk: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.DiskHits == 0 {
+		t.Fatalf("stats = %+v, want a disk hit for the evicted artifact", st)
+	}
+}
+
+func TestMemoryOnlyStore(t *testing.T) {
+	s, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("cdg", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := s.Get("cdg", "k"); !ok || string(got) != "x" {
+		t.Fatalf("memory-only Get = %q, %v", got, ok)
+	}
+}
+
+func TestNameSanitization(t *testing.T) {
+	s, _ := Open(t.TempDir(), 0)
+	// Criteria-derived kinds contain characters that must not escape the
+	// store directory or break file names.
+	kind := "slice-union(pixels+syscalls)[<42]"
+	if err := s.Put(kind, "k/../../evil", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(kind, "k/../../evil"); !ok || err != nil {
+		t.Fatalf("sanitized Get = %v, %v", ok, err)
+	}
+	entries, _ := os.ReadDir(s.Dir())
+	if len(entries) != 1 || strings.ContainsAny(entries[0].Name(), "/()[]<>+") {
+		t.Fatalf("unexpected store contents: %v", entries)
+	}
+}
+
+func TestDepsCodecDeterministicRoundTrip(t *testing.T) {
+	d := &cdg.Deps{ByPC: map[uint32][]uint32{
+		0x10003: {0x10001, 0x10002},
+		0x20001: {0x20000},
+		0x00005: nil,
+	}}
+	b1 := EncodeDeps(d)
+	b2 := EncodeDeps(d)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("EncodeDeps is not deterministic")
+	}
+	got, err := DecodeDeps(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ByPC) != len(d.ByPC) {
+		t.Fatalf("decoded %d entries, want %d", len(got.ByPC), len(d.ByPC))
+	}
+	for pc, deps := range d.ByPC {
+		gd := got.ByPC[pc]
+		if len(gd) != len(deps) {
+			t.Fatalf("pc %#x: decoded %v, want %v", pc, gd, deps)
+		}
+		for i := range deps {
+			if gd[i] != deps[i] {
+				t.Fatalf("pc %#x: decoded %v, want %v", pc, gd, deps)
+			}
+		}
+	}
+	if !bytes.Equal(EncodeDeps(got), b1) {
+		t.Fatal("re-encoding the decoded deps changed the bytes")
+	}
+	if _, err := DecodeDeps(b1[:len(b1)/2]); err == nil {
+		t.Fatal("decoding a truncated deps artifact succeeded")
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	in := &slicer.Result{
+		Criteria:      "pixels",
+		Total:         130,
+		SliceCount:    57,
+		PendingLeft:   2,
+		InSlice:       slicer.Bitset{0xDEADBEEF, 0x0102030405060708, 0x3},
+		ByThread:      map[uint8]int{0: 100, 3: 30},
+		SliceByThread: map[uint8]int{0: 50, 3: 7},
+		ByFunc:        map[trace.FuncID]int{1: 60, 9: 70},
+		SliceByFunc:   map[trace.FuncID]int{1: 20, 9: 37},
+		Progress: []slicer.ProgressPoint{
+			{Processed: 65, Sliced: 30, MainProcessed: 50, MainSliced: 25},
+			{Processed: 130, Sliced: 57, MainProcessed: 100, MainSliced: 50},
+		},
+	}
+	b1 := EncodeResult(in)
+	if !bytes.Equal(b1, EncodeResult(in)) {
+		t.Fatal("EncodeResult is not deterministic")
+	}
+	out, err := DecodeResult(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeResult(out), b1) {
+		t.Fatal("round trip changed the encoded bytes")
+	}
+	if out.Criteria != in.Criteria || out.Total != in.Total || out.SliceCount != in.SliceCount ||
+		out.PendingLeft != in.PendingLeft || len(out.Progress) != len(in.Progress) {
+		t.Fatalf("decoded result %+v differs from input", out)
+	}
+	for i := 0; i < in.Total; i++ {
+		if in.InSlice.Get(i) != out.InSlice.Get(i) {
+			t.Fatalf("bitset differs at %d", i)
+		}
+	}
+	if out.ByThread[3] != 30 || out.SliceByFunc[9] != 37 {
+		t.Fatal("decoded maps differ")
+	}
+	if _, err := DecodeResult(b1[:10]); err == nil {
+		t.Fatal("decoding a truncated result artifact succeeded")
+	}
+}
+
+func TestSliceVariantFingerprintsOptions(t *testing.T) {
+	a := SliceVariant("pixels", slicer.Options{ProgressPoints: 160})
+	b := SliceVariant("pixels", slicer.Options{ProgressPoints: 100})
+	c := SliceVariant("pixels", slicer.Options{ProgressPoints: 160, NoControlDeps: true})
+	d := SliceVariant("syscalls", slicer.Options{ProgressPoints: 160})
+	if a == b || a == c || a == d || b == c {
+		t.Fatalf("variants collide: %q %q %q %q", a, b, c, d)
+	}
+}

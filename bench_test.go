@@ -143,9 +143,11 @@ func BenchmarkBingPartialSlice(b *testing.B) {
 }
 
 // BenchmarkCriteriaComparison is the pixel-vs-syscall criteria ablation.
+// Both slices come out of one fused backward pass (ExecuteCriteria with
+// syscalls enabled) instead of two independent trace walks.
 func BenchmarkCriteriaComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Execute(sites.AmazonDesktop(sites.Options{Scale: benchScale()}))
+		r, err := experiments.ExecuteCriteria(sites.AmazonDesktop(sites.Options{Scale: benchScale()}), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,6 +162,42 @@ func BenchmarkCriteriaComparison(b *testing.B) {
 			b.ReportMetric(c.PixelPct, "pixel_%")
 			b.ReportMetric(c.SyscallPct, "syscall_%")
 		}
+	}
+}
+
+// BenchmarkReproRunner measures the parallel experiment runner: the same
+// Table II regeneration with a single worker vs a GOMAXPROCS-sized pool.
+// On a multi-core machine the parallel series should approach
+// serial/num_cores; results are verified byte-identical in
+// internal/experiments regardless of pool size.
+func BenchmarkReproRunner(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runs, err := experiments.ExecuteTableIIWith(experiments.Config{
+					Scale:    benchScale(),
+					Workers:  cfg.workers,
+					Syscalls: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var render, forward, slice float64
+					for _, r := range runs {
+						render += r.Timing.RenderMs
+						forward += r.Timing.ForwardMs
+						slice += r.Timing.SliceMs
+					}
+					b.ReportMetric(render, "render_ms")
+					b.ReportMetric(forward, "forward_ms")
+					b.ReportMetric(slice, "slice_ms")
+				}
+			}
+		})
 	}
 }
 

@@ -14,3 +14,6 @@ go build ./...
 go build ./examples/...
 go vet ./...
 go test -race ./...
+# Bench smoke: every benchmark must still run (one iteration at a small
+# scale) so perf harness rot is caught in CI, not at measurement time.
+WEBSLICE_SCALE=0.05 go test -bench=. -benchtime=1x -run '^$' ./...

@@ -8,16 +8,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 )
 
 // BenchFile is the default output path, relative to the working directory.
 const BenchFile = "BENCH_repro.json"
 
-// BenchDoc is the top-level BENCH_repro.json document.
+// BenchDoc is the top-level BENCH_repro.json document. Workers is the -j
+// value the run was invoked with (0 = GOMAXPROCS) and GoMaxProcs the
+// resolved parallelism, so recorded wall times can be compared across
+// machines and pool sizes.
 type BenchDoc struct {
 	Schema      int               `json:"schema"`
 	Scale       float64           `json:"scale"`
+	Workers     int               `json:"workers"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
 	Experiments []BenchExperiment `json:"experiments"`
 	TotalWallMs int64             `json:"total_wall_ms"`
 }
@@ -45,8 +51,11 @@ type benchRecorder struct {
 	curStart time.Time
 }
 
-func newBenchRecorder(scale float64) *benchRecorder {
-	return &benchRecorder{doc: BenchDoc{Schema: 1, Scale: scale}, start: time.Now()}
+func newBenchRecorder(scale float64, workers int) *benchRecorder {
+	return &benchRecorder{
+		doc:   BenchDoc{Schema: 1, Scale: scale, Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0)},
+		start: time.Now(),
+	}
 }
 
 // begin closes the current experiment (if any) and starts a new one.

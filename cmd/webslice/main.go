@@ -9,6 +9,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"webslice/internal/analysis"
 	"webslice/internal/browser"
@@ -36,16 +38,29 @@ func main() {
 	id := fs.String("id", "", "job id (status/result commands)")
 	criteria := fs.String("criteria", "pixels", "slicing criteria: pixels|syscalls (submit command)")
 	wait := fs.Bool("wait", false, "submit: poll until the job finishes and print its result")
+	workers := fs.Int("j", 0, "concurrent experiment sessions (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(os.Args[2:])
 
-	var err error
+	// NaN fails every comparison, so this also rejects -scale NaN.
+	if !(*scale > 0) {
+		fmt.Fprintf(os.Stderr, "webslice: invalid -scale %v: must be > 0\n", *scale)
+		os.Exit(2)
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webslice:", err)
+		os.Exit(1)
+	}
+
 	switch cmd {
 	case "repro":
 		var rec *benchRecorder
 		if *jsonOut {
-			rec = newBenchRecorder(*scale)
+			rec = newBenchRecorder(*scale, *workers)
 		}
-		err = repro(*scale, *exp, *faultSeed, rec)
+		err = repro(*scale, *exp, *faultSeed, *workers, rec)
 		if err == nil {
 			err = rec.write(BenchFile)
 		}
@@ -56,7 +71,7 @@ func main() {
 	case "categorize":
 		err = doCategorize(*scale, *site, *topN)
 	case "unused":
-		err = reproTableI(*scale, nil)
+		err = reproTableI(*scale, *workers, nil)
 	case "cpu":
 		err = reproFigure2(*scale, nil)
 	case "calibrate":
@@ -68,13 +83,51 @@ func main() {
 	case "result":
 		err = clientResult(*addr, *id)
 	default:
+		stopProfiles()
 		usage()
 		os.Exit(2)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webslice:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges for a heap profile, per
+// the -cpuprofile/-memprofile flags. The returned stop function finishes
+// both; it is safe to call when neither flag was set.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "webslice: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "webslice: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func usage() {
@@ -94,8 +147,10 @@ commands:
   status     print a websliced job's status (-id)
   result     print a finished websliced job's result (-id)
 
-flags: -scale 1.0 (workload size), -exp all, -site amazon-desktop, -o/-i trace path,
+flags: -scale 1.0 (workload size, must be > 0), -exp all, -site amazon-desktop,
+       -j 0 (concurrent experiment sessions, 0 = GOMAXPROCS), -o/-i trace path,
        -faultseed 7 (fault-plan seed for -exp faults), -json (repro),
+       -cpuprofile/-memprofile <file> (pprof output),
        -addr http://localhost:8077, -id <job> (service client commands)`)
 }
 
@@ -103,7 +158,7 @@ func benchByName(name string, scale float64, browse bool) (sites.Benchmark, erro
 	return sites.ByName(name, sites.Options{Scale: scale, Browse: browse})
 }
 
-func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) error {
+func repro(scale float64, exp string, faultSeed uint64, workers int, rec *benchRecorder) error {
 	switch exp {
 	case "all", "table1", "table2", "fig2", "fig4", "fig5", "bingload", "criteria", "faults":
 	default:
@@ -116,7 +171,11 @@ func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) erro
 		fmt.Printf("Running the four Table II benchmarks at scale %.2f...\n\n", scale)
 		rec.begin("render+slice")
 		var err error
-		runs, err = experiments.ExecuteTableII(scale)
+		// The syscall slice rides along in the same fused backward pass
+		// whenever the criteria comparison will need it.
+		runs, err = experiments.ExecuteTableIIWith(experiments.Config{
+			Scale: scale, Workers: workers, Syscalls: all || exp == "criteria",
+		})
 		if err != nil {
 			return err
 		}
@@ -126,6 +185,9 @@ func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) erro
 				"slice_instructions": float64(r.Pixel.SliceCount),
 				"slice_pct":          r.Pixel.Percent(),
 				"threads":            float64(len(r.Trace.Threads)),
+				"render_wall_ms":     r.Timing.RenderMs,
+				"forward_wall_ms":    r.Timing.ForwardMs,
+				"slice_wall_ms":      r.Timing.SliceMs,
 			})
 		}
 	}
@@ -133,7 +195,7 @@ func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) erro
 		fmt.Println(experiments.TableII(runs).String())
 	}
 	if all || exp == "table1" {
-		if err := reproTableI(scale, rec); err != nil {
+		if err := reproTableI(scale, workers, rec); err != nil {
 			return err
 		}
 	}
@@ -180,7 +242,7 @@ func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) erro
 	if all || exp == "faults" {
 		fmt.Printf("Running fault-injection pairs (clean + faulty) at scale %.2f, seed %d...\n\n", scale, faultSeed)
 		rec.begin("faults")
-		pairs, err := experiments.ExecuteFaults(scale, faultSeed)
+		pairs, err := experiments.ExecuteFaultsWith(experiments.Config{Scale: scale, Workers: workers}, faultSeed)
 		if err != nil {
 			return err
 		}
@@ -223,9 +285,9 @@ func repro(scale float64, exp string, faultSeed uint64, rec *benchRecorder) erro
 	return nil
 }
 
-func reproTableI(scale float64, rec *benchRecorder) error {
+func reproTableI(scale float64, workers int, rec *benchRecorder) error {
 	rec.begin("table1")
-	rows, err := experiments.ExecuteTableI(scale)
+	rows, err := experiments.ExecuteTableIWith(experiments.Config{Scale: scale, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -298,7 +360,9 @@ func doSlice(scale float64, site string) error {
 	if err != nil {
 		return err
 	}
-	r, err := experiments.Execute(b)
+	// Both criteria in one fused backward pass: the comparison below then
+	// reads the precomputed syscall slice instead of re-walking the trace.
+	r, err := experiments.ExecuteCriteria(b, true)
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,7 +43,17 @@ func run(addr, dir string, memBytes int64, workers, queue int) error {
 	}
 	mgr := service.New(service.Config{Workers: workers, QueueDepth: queue, Store: st})
 
-	srv := &http.Server{Addr: addr, Handler: service.NewHandler(mgr)}
+	// The service API at /, plus net/http/pprof under /debug/pprof/ so a
+	// live daemon can be profiled (CPU, heap, goroutines) without a restart.
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(mgr))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Addr: addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

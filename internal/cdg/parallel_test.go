@@ -1,0 +1,89 @@
+package cdg
+
+// Parallel forward-pass equivalence: ComputeParallel fans per-function
+// postdominator + control-dependence work across a pool, and because PCs
+// embed their FuncID the per-function results merge into disjoint key sets.
+// The merged Deps must be indistinguishable — same adjacency, same sorted
+// edge order — from the sequential pass, at every pool size.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"webslice/internal/cfg"
+	"webslice/internal/trace"
+	"webslice/internal/vm"
+)
+
+// manyFuncsTrace traces nFuncs distinct functions, each with data-dependent
+// branching (both arms exercised) so every function contributes control
+// dependences to the merge.
+func manyFuncsTrace(tb testing.TB, nFuncs int) *trace.Trace {
+	tb.Helper()
+	m := vm.New()
+	m.Thread(0, "main")
+	for f := 0; f < nFuncs; f++ {
+		fn := m.Func(fmt.Sprintf("f%03d", f), "test")
+		m.Call(fn, func() {
+			m.Loop(fmt.Sprintf("l%d", f), 4, func(i int) {
+				c := m.Const(uint64((i + f) % 2))
+				if m.Branch(c) {
+					m.At("then")
+					m.Const(1)
+				} else {
+					m.At("else")
+					m.Const(2)
+				}
+				m.At("tail")
+				m.Const(3)
+			})
+		})
+	}
+	return m.Tr
+}
+
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	f, err := cfg.Build(manyFuncsTrace(t, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ComputeParallel(f, 1)
+	if seq.Len() == 0 {
+		t.Fatal("workload produced no control dependences; test is vacuous")
+	}
+	for _, workers := range []int{0, 2, 4, 9} {
+		par := ComputeParallel(f, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: parallel Deps differ from sequential", workers)
+		}
+	}
+	// The default entry point must be the parallel path with identical output.
+	if def := Compute(f); !reflect.DeepEqual(seq, def) {
+		t.Error("Compute(f) differs from the sequential pass")
+	}
+}
+
+func BenchmarkComputeSerial(b *testing.B) {
+	f, err := cfg.Build(manyFuncsTrace(b, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeParallel(f, 1)
+	}
+}
+
+func BenchmarkComputeParallel(b *testing.B) {
+	f, err := cfg.Build(manyFuncsTrace(b, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeParallel(f, 0)
+	}
+}

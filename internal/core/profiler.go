@@ -133,6 +133,65 @@ func (p *Profiler) SliceOpts(c slicer.Criteria, opts slicer.Options) (*slicer.Re
 	return slicer.Slice(p.T, p.deps, c, opts)
 }
 
+// SliceMulti runs one fused backward pass that evaluates several criteria
+// in a single reverse walk of the trace, returning one result per
+// criterion in order (see slicer.SliceMulti).
+func (p *Profiler) SliceMulti(cs []slicer.Criteria) ([]*slicer.Result, error) {
+	return p.SliceMultiOpts(cs, p.Opts)
+}
+
+// SliceMultiOpts is SliceMulti with explicit options.
+func (p *Profiler) SliceMultiOpts(cs []slicer.Criteria, opts slicer.Options) ([]*slicer.Result, error) {
+	if !opts.NoControlDeps {
+		if err := p.Forward(); err != nil {
+			return nil, err
+		}
+	}
+	return slicer.SliceMulti(p.T, p.deps, cs, opts)
+}
+
+// SliceMultiCached is SliceMulti through the artifact store: criteria whose
+// results are already cached under their variant key are served from the
+// store, the rest are computed in one fused backward pass and published.
+// hits[k] reports whether result k came from the cache. Without a store it
+// degrades to a plain SliceMultiOpts.
+func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) ([]*slicer.Result, []bool, error) {
+	hits := make([]bool, len(cs))
+	if p.store == nil {
+		rs, err := p.SliceMultiOpts(cs, opts)
+		return rs, hits, err
+	}
+	out := make([]*slicer.Result, len(cs))
+	var missing []slicer.Criteria
+	var missingIdx []int
+	for k, c := range cs {
+		if c == nil {
+			return nil, nil, fmt.Errorf("core: nil criteria")
+		}
+		if r, ok, _ := p.store.GetSlice(p.key, store.SliceVariant(c.Name(), opts)); ok {
+			out[k], hits[k] = r, true
+			continue
+		}
+		missing = append(missing, c)
+		missingIdx = append(missingIdx, k)
+	}
+	if len(missing) == 0 {
+		return out, hits, nil
+	}
+	rs, err := p.SliceMultiOpts(missing, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, r := range rs {
+		k := missingIdx[j]
+		out[k] = r
+		if err := p.store.PutSlice(p.key, store.SliceVariant(cs[k].Name(), opts), r); err != nil {
+			return nil, nil, fmt.Errorf("core: caching slice: %w", err)
+		}
+	}
+	return out, hits, nil
+}
+
 // SliceCached runs the backward pass through the artifact store: if this
 // trace was already sliced with the same criteria and options, the stored
 // result is returned and both passes are skipped entirely. The bool

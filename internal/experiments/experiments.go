@@ -9,6 +9,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"webslice/internal/analysis"
 	"webslice/internal/browser"
@@ -19,6 +23,26 @@ import (
 	"webslice/internal/trace"
 )
 
+// Config tunes how a batch of experiment sessions executes.
+type Config struct {
+	// Scale is the workload scale (1.0 = calibrated benchmark size).
+	Scale float64
+	// Workers bounds how many site sessions render and slice concurrently;
+	// <= 0 means GOMAXPROCS. Sessions are independent, and results are
+	// collected in deterministic (site-list) order regardless of the value.
+	Workers int
+	// Syscalls additionally computes the syscall slice in the same fused
+	// backward pass as the pixel slice (for the criteria comparison).
+	Syscalls bool
+}
+
+// Timing is the per-stage wall clock of one executed benchmark.
+type Timing struct {
+	RenderMs  float64 `json:"render_ms"`
+	ForwardMs float64 `json:"forward_ms"`
+	SliceMs   float64 `json:"slice_ms"`
+}
+
 // Run is one executed benchmark: the browser after its session, the trace,
 // and the pixel-based slice.
 type Run struct {
@@ -26,11 +50,22 @@ type Run struct {
 	Browser *browser.Browser
 	Trace   *trace.Trace
 	Pixel   *slicer.Result
+	// Syscall is the syscall-criteria slice, computed in the same fused
+	// backward pass as Pixel when Config.Syscalls (or ExecuteCriteria's
+	// withSyscalls) asked for it; nil otherwise.
+	Syscall *slicer.Result
 	Prof    *core.Profiler
+	Timing  Timing
 }
 
 // Execute runs a benchmark's session and computes its pixel slice.
-func Execute(b sites.Benchmark) (*Run, error) {
+func Execute(b sites.Benchmark) (*Run, error) { return ExecuteCriteria(b, false) }
+
+// ExecuteCriteria runs a benchmark's session and computes its pixel slice;
+// withSyscalls also computes the syscall slice in the same fused backward
+// pass, so the criteria comparison costs one trace walk instead of two.
+func ExecuteCriteria(b sites.Benchmark, withSyscalls bool) (*Run, error) {
+	start := time.Now()
 	br := browser.New(b.Site, b.Profile)
 	if b.Faults != nil {
 		br.Loader.SetFaults(b.Faults)
@@ -39,24 +74,102 @@ func Execute(b sites.Benchmark) (*Run, error) {
 	if len(br.Errors) > 0 {
 		return nil, fmt.Errorf("experiments: %s: %v", b.Name, br.Errors[0])
 	}
+	renderDone := time.Now()
 	p := core.NewProfiler(br.M.Tr)
 	p.Opts.ProgressPoints = 160
-	res, err := p.PixelSlice()
+	if err := p.Forward(); err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+	}
+	forwardDone := time.Now()
+	crits := []slicer.Criteria{slicer.PixelCriteria{}}
+	if withSyscalls {
+		crits = append(crits, slicer.SyscallCriteria{})
+	}
+	rs, err := p.SliceMulti(crits)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
 	}
-	return &Run{Bench: b, Browser: br, Trace: br.M.Tr, Pixel: res, Prof: p}, nil
+	end := time.Now()
+	run := &Run{
+		Bench: b, Browser: br, Trace: br.M.Tr, Pixel: rs[0], Prof: p,
+		Timing: Timing{
+			RenderMs:  ms(renderDone.Sub(start)),
+			ForwardMs: ms(forwardDone.Sub(renderDone)),
+			SliceMs:   ms(end.Sub(forwardDone)),
+		},
+	}
+	if withSyscalls {
+		run.Syscall = rs[1]
+	}
+	return run, nil
 }
 
-// ExecuteTableII runs the four Table II benchmarks.
-func ExecuteTableII(scale float64) ([]*Run, error) {
-	var out []*Run
-	for _, b := range sites.TableII(scale) {
-		r, err := Execute(b)
-		if err != nil {
-			return nil, err
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// forEach runs fn(0..n-1) over a bounded worker pool. Every index runs even
+// if an earlier one fails; the lowest-index error is returned so parallel
+// runs fail deterministically.
+func forEach(workers, n int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		out = append(out, r)
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecuteTableII runs the four Table II benchmarks sequentially.
+func ExecuteTableII(scale float64) ([]*Run, error) {
+	return ExecuteTableIIWith(Config{Scale: scale, Workers: 1})
+}
+
+// ExecuteTableIIWith runs the Table II benchmarks over cfg's worker pool,
+// returning runs in the site-list order.
+func ExecuteTableIIWith(cfg Config) ([]*Run, error) {
+	benches := sites.TableII(cfg.Scale)
+	out := make([]*Run, len(benches))
+	err := forEach(cfg.Workers, len(benches), func(i int) error {
+		r, err := ExecuteCriteria(benches[i], cfg.Syscalls)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -121,25 +234,38 @@ type TableIRow struct {
 }
 
 // ExecuteTableI runs the Table I site set (load and load+browse sessions)
-// and measures unused JS/CSS bytes.
+// sequentially and measures unused JS/CSS bytes.
 func ExecuteTableI(scale float64) ([]TableIRow, error) {
-	var out []TableIRow
-	for _, pair := range sites.TableI(scale) {
-		loadB := browser.New(pair.Load.Site, pair.Load.Profile)
-		loadB.RunSession()
-		if len(loadB.Errors) > 0 {
-			return nil, fmt.Errorf("experiments: table1 %s load: %v", pair.Name, loadB.Errors[0])
+	return ExecuteTableIWith(Config{Scale: scale, Workers: 1})
+}
+
+// ExecuteTableIWith runs the Table I sessions over cfg's worker pool. Each
+// pair's load and load+browse sessions are independent units, so a pool of
+// W workers keeps W sessions rendering at once; rows come back in site-list
+// order.
+func ExecuteTableIWith(cfg Config) ([]TableIRow, error) {
+	pairs := sites.TableI(cfg.Scale)
+	usages := make([]analysis.ByteUsage, 2*len(pairs))
+	err := forEach(cfg.Workers, 2*len(pairs), func(i int) error {
+		pair := pairs[i/2]
+		bench, label := pair.Load, "load"
+		if i%2 == 1 {
+			bench, label = pair.LoadAndBrowse, "browse"
 		}
-		browseB := browser.New(pair.LoadAndBrowse.Site, pair.LoadAndBrowse.Profile)
-		browseB.RunSession()
-		if len(browseB.Errors) > 0 {
-			return nil, fmt.Errorf("experiments: table1 %s browse: %v", pair.Name, browseB.Errors[0])
+		br := browser.New(bench.Site, bench.Profile)
+		br.RunSession()
+		if len(br.Errors) > 0 {
+			return fmt.Errorf("experiments: table1 %s %s: %v", pair.Name, label, br.Errors[0])
 		}
-		out = append(out, TableIRow{
-			Name:          pair.Name,
-			Load:          analysis.UnusedBytes(loadB),
-			LoadAndBrowse: analysis.UnusedBytes(browseB),
-		})
+		usages[i] = analysis.UnusedBytes(br)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TableIRow, len(pairs))
+	for i, pair := range pairs {
+		out[i] = TableIRow{Name: pair.Name, Load: usages[2*i], LoadAndBrowse: usages[2*i+1]}
 	}
 	return out, nil
 }
@@ -263,11 +389,18 @@ type CriteriaComparisonResult struct {
 	ExtraSyscall         int // syscall-slice records beyond the pixel slice
 }
 
-// ExecuteCriteriaComparison computes both slices for a run.
+// ExecuteCriteriaComparison computes both slices for a run. A run executed
+// with the fused syscall criterion (ExecuteCriteria withSyscalls, or
+// Config.Syscalls) already carries the syscall slice and pays no extra
+// trace walk here.
 func ExecuteCriteriaComparison(r *Run) (CriteriaComparisonResult, error) {
-	sys, err := r.Prof.SyscallSlice()
-	if err != nil {
-		return CriteriaComparisonResult{}, err
+	sys := r.Syscall
+	if sys == nil {
+		var err error
+		sys, err = r.Prof.SyscallSlice()
+		if err != nil {
+			return CriteriaComparisonResult{}, err
+		}
 	}
 	out := CriteriaComparisonResult{
 		PixelPct:   r.Pixel.Percent(),

@@ -17,32 +17,50 @@ type FaultPair struct {
 	FaultyWaste   analysis.FaultWasteResult
 }
 
-// ExecuteFaults runs the fault-injection experiment: for each selected site,
-// a clean load is the baseline, then the same site loads through a fault plan
-// derived from the seed. Both runs are pixel-sliced and the error-path
-// (net/error namespace) instruction counts are split by slice membership.
+// ExecuteFaults runs the fault-injection experiment sequentially: for each
+// selected site, a clean load is the baseline, then the same site loads
+// through a fault plan derived from the seed. Both runs are pixel-sliced and
+// the error-path (net/error namespace) instruction counts are split by slice
+// membership.
 func ExecuteFaults(scale float64, seed uint64) ([]FaultPair, error) {
+	return ExecuteFaultsWith(Config{Scale: scale, Workers: 1}, seed)
+}
+
+// ExecuteFaultsWith is ExecuteFaults over cfg's worker pool: each site's
+// clean and faulty sessions are independent units, collected into pairs in
+// site-list order.
+func ExecuteFaultsWith(cfg Config, seed uint64) ([]FaultPair, error) {
 	benches := []sites.Benchmark{
-		sites.AmazonDesktop(sites.Options{Scale: scale}),
-		sites.Bing(sites.Options{Scale: scale}),
+		sites.AmazonDesktop(sites.Options{Scale: cfg.Scale}),
+		sites.Bing(sites.Options{Scale: cfg.Scale}),
 	}
-	var out []FaultPair
-	for _, b := range benches {
-		clean, err := Execute(b)
-		if err != nil {
-			return nil, fmt.Errorf("faults: %s clean: %w", b.Name, err)
+	runs := make([]*Run, 2*len(benches))
+	wastes := make([]analysis.FaultWasteResult, 2*len(benches))
+	err := forEach(cfg.Workers, 2*len(benches), func(i int) error {
+		b, label := benches[i/2], "clean"
+		if i%2 == 1 {
+			b, label = sites.FaultyVariant(b, seed), "faulty"
 		}
-		faulty, err := Execute(sites.FaultyVariant(b, seed))
+		r, err := Execute(b)
 		if err != nil {
-			return nil, fmt.Errorf("faults: %s faulty: %w", b.Name, err)
+			return fmt.Errorf("faults: %s %s: %w", benches[i/2].Name, label, err)
 		}
-		out = append(out, FaultPair{
+		runs[i] = r
+		wastes[i] = analysis.FaultWaste(r.Trace, r.Pixel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FaultPair, len(benches))
+	for i, b := range benches {
+		out[i] = FaultPair{
 			Name:        b.Name,
-			Clean:       clean,
-			Faulty:      faulty,
-			CleanWaste:  analysis.FaultWaste(clean.Trace, clean.Pixel),
-			FaultyWaste: analysis.FaultWaste(faulty.Trace, faulty.Pixel),
-		})
+			Clean:       runs[2*i],
+			Faulty:      runs[2*i+1],
+			CleanWaste:  wastes[2*i],
+			FaultyWaste: wastes[2*i+1],
+		}
 	}
 	return out, nil
 }

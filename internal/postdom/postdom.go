@@ -25,10 +25,10 @@ type Tree struct {
 // postdominator except exit itself.
 func Compute(g *cfg.Graph) *Tree {
 	n := g.NumNodes()
-	// Reverse post-order of the *reverse* graph starting at Exit, i.e.
-	// predecessors become successors.
-	order := make([]int32, 0, n) // RPO sequence
-	rpoNum := make([]int32, n)   // node -> position in order, -1 if unreachable
+	// Post-order of the *reverse* graph starting at Exit, i.e. predecessors
+	// become successors. Walking post in reverse yields the RPO sequence, so
+	// no separate order slice is materialized.
+	rpoNum := make([]int32, n) // node -> RPO position, -1 if unreachable
 	for i := range rpoNum {
 		rpoNum[i] = -1
 	}
@@ -38,7 +38,7 @@ func Compute(g *cfg.Graph) *Tree {
 		node int32
 		next int
 	}
-	var post []int32
+	post := make([]int32, 0, n)
 	stack := []dfsFrame{{cfg.Exit, 0}}
 	visited[cfg.Exit] = true
 	for len(stack) > 0 {
@@ -56,9 +56,8 @@ func Compute(g *cfg.Graph) *Tree {
 		post = append(post, top.node)
 		stack = stack[:len(stack)-1]
 	}
-	for i := len(post) - 1; i >= 0; i-- {
-		rpoNum[post[i]] = int32(len(order))
-		order = append(order, post[i])
+	for i, u := range post {
+		rpoNum[u] = int32(len(post) - 1 - i)
 	}
 
 	ipdom := make([]int32, n)
@@ -81,7 +80,8 @@ func Compute(g *cfg.Graph) *Tree {
 
 	for changed := true; changed; {
 		changed = false
-		for _, u := range order {
+		for i := len(post) - 1; i >= 0; i-- { // RPO of the reverse graph
+			u := post[i]
 			if u == cfg.Exit {
 				continue
 			}

@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -254,8 +255,12 @@ func validate(spec *Spec) error {
 	if len(spec.Trace) > 0 {
 		return nil
 	}
-	if spec.Scale == 0 {
+	switch {
+	case spec.Scale == 0:
 		spec.Scale = 1.0
+	case !(spec.Scale > 0) || math.IsInf(spec.Scale, 1):
+		// Catches negatives, NaN (fails every comparison), and +Inf.
+		return fmt.Errorf("service: invalid scale %v (must be a finite number > 0)", spec.Scale)
 	}
 	_, err := sites.ByName(spec.Site, sites.Options{})
 	return err

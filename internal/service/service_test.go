@@ -3,6 +3,8 @@ package service
 import (
 	"bytes"
 	"errors"
+	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -72,6 +74,25 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if _, err := m.Submit(Spec{Site: "maps", Criteria: "vibes"}); err == nil {
 		t.Fatal("unknown criteria accepted")
+	}
+	for _, scale := range []float64{-1, -0.25, math.NaN(), math.Inf(1)} {
+		_, err := m.Submit(Spec{Site: "maps", Scale: scale})
+		if err == nil {
+			t.Errorf("scale %v accepted", scale)
+			continue
+		}
+		if !strings.Contains(err.Error(), "scale") {
+			t.Errorf("scale %v: error %q does not name the bad field", scale, err)
+		}
+	}
+	// Zero means "default"; small positive scales are valid.
+	if id, err := m.Submit(Spec{Site: "maps", Scale: 0}); err != nil {
+		t.Errorf("zero scale (default) rejected: %v", err)
+	} else {
+		waitStatus(t, m, id, StatusDone)
+	}
+	if _, err := m.Submit(Spec{Site: "maps", Scale: 0.01}); err != nil {
+		t.Errorf("valid scale rejected: %v", err)
 	}
 }
 

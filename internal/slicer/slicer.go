@@ -196,210 +196,387 @@ func (r *Result) RangePercent(lo, hi int) float64 {
 	return 100 * float64(in) / float64(n)
 }
 
+// callFrame is one call-stack level of the backward pass: the branch PCs
+// still pending for this frame and whether the frame contributed a slice
+// record. Frames live in dense per-depth slices (frameStack) instead of the
+// nested map[int]map[uint32]struct{} an earlier version used — the pending
+// sets are tiny (a handful of branch PCs), so linear scans over a slice beat
+// per-record map allocation and hashing in the hot loop.
+type callFrame struct {
+	pending []uint32
+	contrib bool
+}
+
+// addPending schedules a branch PC if not already pending.
+func (f *callFrame) addPending(pc uint32) {
+	for _, p := range f.pending {
+		if p == pc {
+			return
+		}
+	}
+	f.pending = append(f.pending, pc)
+}
+
+// takePending removes pc from the pending set, reporting whether it was
+// there. Order within the set is irrelevant, so removal is a swap-delete.
+func (f *callFrame) takePending(pc uint32) bool {
+	for i, p := range f.pending {
+		if p == pc {
+			last := len(f.pending) - 1
+			f.pending[i] = f.pending[last]
+			f.pending = f.pending[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// reset clears a frame for re-use at a new depth.
+func (f *callFrame) reset() {
+	f.pending = f.pending[:0]
+	f.contrib = false
+}
+
+// frameStack indexes callFrames by call depth. Depth can go negative when
+// the trace opens mid-function (a call whose return precedes the window),
+// so negative depths get their own slice: depth d < 0 lives at neg[-1-d].
+type frameStack struct {
+	pos []callFrame
+	neg []callFrame
+}
+
+// at returns the frame for depth d, growing the stack as needed. The
+// returned pointer is only valid until the next at call (append may move
+// the backing array).
+func (s *frameStack) at(d int) *callFrame {
+	if d >= 0 {
+		for len(s.pos) <= d {
+			s.pos = append(s.pos, callFrame{})
+		}
+		return &s.pos[d]
+	}
+	i := -1 - d
+	for len(s.neg) <= i {
+		s.neg = append(s.neg, callFrame{})
+	}
+	return &s.neg[i]
+}
+
+// pendingLeft sums the pending branches across every depth ever touched.
+func (s *frameStack) pendingLeft() int {
+	n := 0
+	for i := range s.pos {
+		n += len(s.pos[i].pending)
+	}
+	for i := range s.neg {
+		n += len(s.neg[i].pending)
+	}
+	return n
+}
+
 type threadState struct {
-	depth   int
-	pending map[int]map[uint32]struct{}
-	contrib map[int]bool
+	depth  int
+	frames frameStack
+}
+
+// sliceState is the complete working state of the backward pass for one
+// criterion. SliceMulti keeps one per criterion and steps them all per
+// record, so N criteria cost one trace walk instead of N. Thread and
+// function tallies accumulate in dense slices indexed by TID/FuncID and are
+// converted to the Result maps once at the end — two map operations per
+// record used to dominate the hot-loop profile.
+type sliceState struct {
+	t    *trace.Trace
+	deps *cdg.Deps
+	crit Criteria
+	opts Options
+
+	res     *Result
+	live    LiveMem
+	regs    *bitsetGrow
+	threads [256]*threadState
+
+	byThread      [256]int
+	sliceByThread [256]int
+	byFunc        []int
+	sliceByFunc   []int
+
+	sampleEvery                                  int
+	processed, sliced, mainProcessed, mainSliced int
+
+	// curMarked reports whether the record being stepped joined the slice;
+	// records only ever join during their own step, so the progress tail can
+	// test this flag instead of re-reading the bitset twice per record.
+	curMarked bool
+}
+
+func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, live LiveMem) *sliceState {
+	n := len(t.Recs)
+	s := &sliceState{
+		t:    t,
+		deps: deps,
+		crit: c,
+		opts: opts,
+		res: &Result{
+			Criteria: c.Name(),
+			Total:    n,
+			InSlice:  NewBitset(n),
+		},
+		live:        live,
+		regs:        newBitsetGrow(),
+		byFunc:      make([]int, len(t.Funcs)),
+		sliceByFunc: make([]int, len(t.Funcs)),
+	}
+	if opts.ProgressPoints > 0 {
+		s.sampleEvery = n / opts.ProgressPoints
+		if s.sampleEvery == 0 {
+			s.sampleEvery = 1
+		}
+	}
+	return s
+}
+
+func (s *sliceState) thread(tid uint8) *threadState {
+	th := s.threads[tid]
+	if th == nil {
+		th = &threadState{}
+		s.threads[tid] = th
+	}
+	return th
+}
+
+// bumpFunc counts a record against fn, growing the dense tally if the trace
+// names more functions than its symbol table (unvalidated traces).
+func bumpFunc(tally *[]int, fn trace.FuncID) {
+	if int(fn) >= len(*tally) {
+		*tally = append(*tally, make([]int, int(fn)+1-len(*tally))...)
+	}
+	(*tally)[fn]++
+}
+
+// step processes record i; it is the whole per-record body of the backward
+// pass, identical in effect to the original single-criterion loop.
+func (s *sliceState) step(i int, r *trace.Rec) {
+	th := s.thread(r.TID)
+	s.byThread[r.TID]++
+	bumpFunc(&s.byFunc, r.Func())
+	s.curMarked = false
+
+	// Criteria: reaching this program point may make variables live.
+	if mem, anchor := s.crit.At(i, r, s.t); len(mem) > 0 || anchor {
+		for _, rg := range mem {
+			s.live.Add(rg)
+		}
+		if anchor {
+			s.markSlice(i, r, th)
+			s.setReg(r.Src1)
+			s.setReg(r.Src2)
+		}
+	}
+
+	switch r.Kind {
+	case isa.KindConst:
+		if s.regs.Kill(uint32(r.Dst)) {
+			s.markSlice(i, r, th)
+		}
+	case isa.KindOp:
+		if s.regs.Kill(uint32(r.Dst)) {
+			s.markSlice(i, r, th)
+			s.setReg(r.Src1)
+			s.setReg(r.Src2)
+		}
+	case isa.KindLoad:
+		if s.regs.Kill(uint32(r.Dst)) {
+			s.markSlice(i, r, th)
+			s.live.Add(r.MemRange())
+			s.setReg(r.Src2) // address register
+		}
+	case isa.KindStore:
+		if s.live.Kill(r.MemRange()) {
+			s.markSlice(i, r, th)
+			s.setReg(r.Src1) // value
+			s.setReg(r.Src2) // address register
+		}
+	case isa.KindBranch:
+		if !s.opts.NoControlDeps {
+			if th.frames.at(th.depth).takePending(r.PC) {
+				s.markSlice(i, r, th)
+				s.setReg(r.Src1) // condition
+			}
+		}
+	case isa.KindRet:
+		// Walking backward, a return means we are entering the callee's
+		// body: deeper frame, fresh pending/contribution scope.
+		th.depth++
+		th.frames.at(th.depth).reset()
+	case isa.KindCall:
+		fr := th.frames.at(th.depth)
+		contributed := fr.contrib
+		s.res.PendingLeft += len(fr.pending)
+		fr.reset()
+		th.depth--
+		if contributed {
+			// Interprocedural control dependence: the call instruction
+			// guards everything its instance executed.
+			s.markSlice(i, r, th)
+		}
+	case isa.KindSyscall:
+		// A syscall defines the memory it writes (e.g. recvfrom filling
+		// the response buffer): if any of that is live, the external
+		// input is part of the provenance.
+		if eff := s.t.Sys[i]; eff != nil {
+			hit := false
+			for _, w := range eff.Writes {
+				if s.live.Kill(w) {
+					hit = true
+				}
+			}
+			if s.regs.Kill(uint32(r.Dst)) {
+				hit = true
+			}
+			if hit {
+				s.markSlice(i, r, th)
+				for _, rd := range eff.Reads {
+					s.live.Add(rd)
+				}
+			}
+		}
+	case isa.KindMarker, isa.KindNop:
+		// Criteria handled above; markers are pseudo-instructions and
+		// never join the slice themselves.
+	}
+
+	s.processed++
+	if s.curMarked {
+		s.sliced++
+	}
+	if r.TID == s.opts.MainThread {
+		s.mainProcessed++
+		if s.curMarked {
+			s.mainSliced++
+		}
+	}
+	if s.sampleEvery > 0 && s.processed%s.sampleEvery == 0 {
+		s.res.Progress = append(s.res.Progress, ProgressPoint{s.processed, s.sliced, s.mainProcessed, s.mainSliced})
+	}
+}
+
+// markSlice adds record i to the slice, credits its thread/function tallies,
+// flags its frame as contributing, and schedules its control-dependence
+// branches on the pending list.
+func (s *sliceState) markSlice(i int, r *trace.Rec, th *threadState) {
+	if s.res.InSlice.Get(i) {
+		return
+	}
+	s.res.InSlice.Set(i)
+	s.res.SliceCount++
+	s.curMarked = true
+	s.sliceByThread[r.TID]++
+	bumpFunc(&s.sliceByFunc, r.Func())
+	fr := th.frames.at(th.depth)
+	fr.contrib = true
+	if s.opts.NoControlDeps || s.deps == nil {
+		return
+	}
+	for _, bpc := range s.deps.Of(r.PC) {
+		fr.addPending(bpc)
+	}
+}
+
+func (s *sliceState) setReg(r isa.Reg) {
+	if r != isa.RegNone {
+		s.regs.Set(uint32(r))
+	}
+}
+
+// finish converts the dense tallies into the Result's maps (nonzero entries
+// only, matching what per-record map increments would have produced),
+// flushes the progress tail, and totals the pending-branch residue.
+func (s *sliceState) finish() *Result {
+	res := s.res
+	res.ByThread = make(map[uint8]int)
+	res.SliceByThread = make(map[uint8]int)
+	for tid := 0; tid < 256; tid++ {
+		if s.byThread[tid] > 0 {
+			res.ByThread[uint8(tid)] = s.byThread[tid]
+		}
+		if s.sliceByThread[tid] > 0 {
+			res.SliceByThread[uint8(tid)] = s.sliceByThread[tid]
+		}
+	}
+	res.ByFunc = make(map[trace.FuncID]int)
+	res.SliceByFunc = make(map[trace.FuncID]int)
+	for fn, c := range s.byFunc {
+		if c > 0 {
+			res.ByFunc[trace.FuncID(fn)] = c
+		}
+	}
+	for fn, c := range s.sliceByFunc {
+		if c > 0 {
+			res.SliceByFunc[trace.FuncID(fn)] = c
+		}
+	}
+	if s.sampleEvery > 0 && (len(res.Progress) == 0 || res.Progress[len(res.Progress)-1].Processed != s.processed) {
+		res.Progress = append(res.Progress, ProgressPoint{s.processed, s.sliced, s.mainProcessed, s.mainSliced})
+	}
+	for _, th := range s.threads {
+		if th != nil {
+			res.PendingLeft += th.frames.pendingLeft()
+		}
+	}
+	return res
 }
 
 // Slice runs the backward pass over t with the given criteria, control
 // dependences (from the forward pass; may be nil only when
 // opts.NoControlDeps is set), and options.
 func Slice(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options) (*Result, error) {
-	if c == nil {
-		return nil, fmt.Errorf("slicer: nil criteria")
+	rs, err := SliceMulti(t, deps, []Criteria{c}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// SliceMulti runs the backward pass once for several criteria: the trace is
+// walked in reverse a single time, with one live-register set, live-memory
+// set, and pending-branch state maintained per criterion. Results come back
+// in criteria order and are identical to what len(cs) independent Slice
+// calls would produce — one stored forward pass serves many backward
+// passes, and now those backward passes share the trace walk too.
+func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("slicer: no criteria")
+	}
+	for _, c := range cs {
+		if c == nil {
+			return nil, fmt.Errorf("slicer: nil criteria")
+		}
 	}
 	if deps == nil && !opts.NoControlDeps {
 		return nil, fmt.Errorf("slicer: control dependences required (or set NoControlDeps)")
 	}
-	live := opts.Live
-	if live == nil {
-		live = NewWordSet()
+	if opts.Live != nil && len(cs) > 1 {
+		return nil, fmt.Errorf("slicer: Options.Live is a single instance and cannot be shared across %d fused criteria", len(cs))
 	}
 
-	n := len(t.Recs)
-	res := &Result{
-		Criteria:      c.Name(),
-		Total:         n,
-		InSlice:       NewBitset(n),
-		ByThread:      make(map[uint8]int),
-		SliceByThread: make(map[uint8]int),
-		ByFunc:        make(map[trace.FuncID]int),
-		SliceByFunc:   make(map[trace.FuncID]int),
-	}
-
-	regs := newBitsetGrow()
-	threads := make(map[uint8]*threadState)
-	state := func(tid uint8) *threadState {
-		s := threads[tid]
-		if s == nil {
-			s = &threadState{
-				pending: make(map[int]map[uint32]struct{}),
-				contrib: make(map[int]bool),
-			}
-			threads[tid] = s
+	states := make([]*sliceState, len(cs))
+	for k, c := range cs {
+		live := opts.Live
+		if live == nil {
+			live = NewWordSet()
 		}
-		return s
+		states[k] = newSliceState(t, deps, c, opts, live)
 	}
-
-	var sampleEvery int
-	if opts.ProgressPoints > 0 {
-		sampleEvery = n / opts.ProgressPoints
-		if sampleEvery == 0 {
-			sampleEvery = 1
-		}
-	}
-	var processed, sliced, mainProcessed, mainSliced int
-
-	for i := n - 1; i >= 0; i-- {
+	for i := len(t.Recs) - 1; i >= 0; i-- {
 		r := &t.Recs[i]
-		th := state(r.TID)
-		res.ByThread[r.TID]++
-		res.ByFunc[r.Func()]++
-
-		// Criteria: reaching this program point may make variables live.
-		if mem, anchor := c.At(i, r, t); len(mem) > 0 || anchor {
-			for _, rg := range mem {
-				live.Add(rg)
-			}
-			if anchor {
-				markSlice(res, i, r, th, deps, opts, regs)
-				setReg(regs, r.Src1)
-				setReg(regs, r.Src2)
-			}
-		}
-
-		switch r.Kind {
-		case isa.KindConst:
-			if regs.Kill(uint32(r.Dst)) {
-				markSlice(res, i, r, th, deps, opts, regs)
-			}
-		case isa.KindOp:
-			if regs.Kill(uint32(r.Dst)) {
-				markSlice(res, i, r, th, deps, opts, regs)
-				setReg(regs, r.Src1)
-				setReg(regs, r.Src2)
-			}
-		case isa.KindLoad:
-			if regs.Kill(uint32(r.Dst)) {
-				markSlice(res, i, r, th, deps, opts, regs)
-				live.Add(r.MemRange())
-				setReg(regs, r.Src2) // address register
-			}
-		case isa.KindStore:
-			if live.Kill(r.MemRange()) {
-				markSlice(res, i, r, th, deps, opts, regs)
-				setReg(regs, r.Src1) // value
-				setReg(regs, r.Src2) // address register
-			}
-		case isa.KindBranch:
-			if !opts.NoControlDeps {
-				if set := th.pending[th.depth]; len(set) > 0 {
-					if _, ok := set[r.PC]; ok {
-						delete(set, r.PC)
-						markSlice(res, i, r, th, deps, opts, regs)
-						setReg(regs, r.Src1) // condition
-					}
-				}
-			}
-		case isa.KindRet:
-			// Walking backward, a return means we are entering the callee's
-			// body: deeper frame, fresh pending/contribution scope.
-			th.depth++
-			th.contrib[th.depth] = false
-			delete(th.pending, th.depth)
-		case isa.KindCall:
-			calleeDepth := th.depth
-			contributed := th.contrib[calleeDepth]
-			if set := th.pending[calleeDepth]; len(set) > 0 {
-				res.PendingLeft += len(set)
-			}
-			delete(th.contrib, calleeDepth)
-			delete(th.pending, calleeDepth)
-			th.depth--
-			if contributed {
-				// Interprocedural control dependence: the call instruction
-				// guards everything its instance executed.
-				markSlice(res, i, r, th, deps, opts, regs)
-			}
-		case isa.KindSyscall:
-			// A syscall defines the memory it writes (e.g. recvfrom filling
-			// the response buffer): if any of that is live, the external
-			// input is part of the provenance.
-			if eff := t.Sys[i]; eff != nil {
-				hit := false
-				for _, w := range eff.Writes {
-					if live.Kill(w) {
-						hit = true
-					}
-				}
-				if regs.Kill(uint32(r.Dst)) {
-					hit = true
-				}
-				if hit {
-					markSlice(res, i, r, th, deps, opts, regs)
-					for _, rd := range eff.Reads {
-						live.Add(rd)
-					}
-				}
-			}
-		case isa.KindMarker, isa.KindNop:
-			// Criteria handled above; markers are pseudo-instructions and
-			// never join the slice themselves.
-		}
-
-		processed++
-		if res.InSlice.Get(i) {
-			sliced++
-		}
-		if r.TID == opts.MainThread {
-			mainProcessed++
-			if res.InSlice.Get(i) {
-				mainSliced++
-			}
-		}
-		if sampleEvery > 0 && processed%sampleEvery == 0 {
-			res.Progress = append(res.Progress, ProgressPoint{processed, sliced, mainProcessed, mainSliced})
+		for _, s := range states {
+			s.step(i, r)
 		}
 	}
-	if sampleEvery > 0 && (len(res.Progress) == 0 || res.Progress[len(res.Progress)-1].Processed != processed) {
-		res.Progress = append(res.Progress, ProgressPoint{processed, sliced, mainProcessed, mainSliced})
+	out := make([]*Result, len(states))
+	for k, s := range states {
+		out[k] = s.finish()
 	}
-	for _, th := range threads {
-		for _, set := range th.pending {
-			res.PendingLeft += len(set)
-		}
-	}
-	return res, nil
-}
-
-// markSlice adds record i to the slice, credits its thread/function tallies,
-// flags its frame as contributing, and schedules its control-dependence
-// branches on the pending list.
-func markSlice(res *Result, i int, r *trace.Rec, th *threadState, deps *cdg.Deps, opts Options, regs *bitsetGrow) {
-	if res.InSlice.Get(i) {
-		return
-	}
-	res.InSlice.Set(i)
-	res.SliceCount++
-	res.SliceByThread[r.TID]++
-	res.SliceByFunc[r.Func()]++
-	th.contrib[th.depth] = true
-	if opts.NoControlDeps || deps == nil {
-		return
-	}
-	for _, bpc := range deps.Of(r.PC) {
-		set := th.pending[th.depth]
-		if set == nil {
-			set = make(map[uint32]struct{})
-			th.pending[th.depth] = set
-		}
-		set[bpc] = struct{}{}
-	}
-}
-
-func setReg(regs *bitsetGrow, r isa.Reg) {
-	if r != isa.RegNone {
-		regs.Set(uint32(r))
-	}
+	return out, nil
 }

@@ -14,6 +14,37 @@ go build ./...
 go build ./examples/...
 go vet ./...
 go test -race ./...
+
+# Coverage ratchet on the correctness-critical packages: the slicing engine,
+# the control dependence graph, and the replay/invariant oracles. Floors only
+# go up — raise them when coverage improves, never lower them to merge.
+check_cover() {
+	pkg=$1
+	floor=$2
+	pct=$(go test -cover "$pkg" | awk '{for (i=1; i<=NF; i++) if ($i == "coverage:") {sub(/%/, "", $(i+1)); print $(i+1)}}')
+	if [ -z "$pct" ]; then
+		echo "no coverage reported for $pkg" >&2
+		exit 1
+	fi
+	if awk -v p="$pct" -v f="$floor" 'BEGIN{exit !(p < f)}'; then
+		echo "coverage ratchet: $pkg at ${pct}%, floor is ${floor}%" >&2
+		exit 1
+	fi
+	echo "coverage: $pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/slicer 85
+check_cover ./internal/cdg 85
+check_cover ./internal/replay 82
+
+# Fuzz smoke: a few seconds per target so a crashing input or a slice that
+# fails to replay is caught in CI, not only by long offline fuzzing runs.
+go test -run '^$' -fuzz FuzzSliceNeverPanics -fuzztime 5s ./internal/slicer
+go test -run '^$' -fuzz FuzzReplayAgreesWithSlice -fuzztime 5s ./internal/replay
+
+# The full validation sweep: golden corpus digests, then replay, naive-
+# differential, and invariant oracles over 50 property-generated sites.
+go run ./cmd/webslice verify -exp all
+
 # Bench smoke: every benchmark must still run (one iteration at a small
 # scale) so perf harness rot is caught in CI, not at measurement time.
 WEBSLICE_SCALE=0.05 go test -bench=. -benchtime=1x -run '^$' ./...

@@ -2,6 +2,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +27,13 @@ func main() {
 	defer f.Close()
 	t, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		var de *trace.DecodeError
+		if errors.As(err, &de) {
+			fmt.Fprintf(os.Stderr, "tracedump: %s is not a valid trace: decoding the %s failed at byte offset %d: %s\n",
+				flag.Arg(0), de.Section, de.Offset, de.Msg)
+		} else {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+		}
 		os.Exit(1)
 	}
 	if err := t.Validate(); err != nil {

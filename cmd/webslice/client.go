@@ -19,7 +19,7 @@ import (
 // clientSubmit posts a job: a binary trace file when tracePath is set,
 // otherwise a named site. With wait it polls until the job finishes and
 // prints the result.
-func clientSubmit(addr, site string, scale float64, criteria, tracePath string, wait bool) error {
+func clientSubmit(addr, site string, scale float64, criteria, tracePath string, wait, verify bool) error {
 	var resp *http.Response
 	var err error
 	if tracePath != "" {
@@ -27,9 +27,13 @@ func clientSubmit(addr, site string, scale float64, criteria, tracePath string, 
 		if rerr != nil {
 			return rerr
 		}
-		resp, err = http.Post(addr+"/jobs/trace?criteria="+criteria, "application/octet-stream", bytes.NewReader(body))
+		url := addr + "/jobs/trace?criteria=" + criteria
+		if verify {
+			url += "&verify=1"
+		}
+		resp, err = http.Post(url, "application/octet-stream", bytes.NewReader(body))
 	} else {
-		spec, _ := json.Marshal(service.Spec{Site: site, Scale: scale, Criteria: criteria})
+		spec, _ := json.Marshal(service.Spec{Site: site, Scale: scale, Criteria: criteria, Verify: verify})
 		resp, err = http.Post(addr+"/jobs", "application/json", bytes.NewReader(spec))
 	}
 	if err != nil {
@@ -90,6 +94,9 @@ func clientResult(addr, id string) error {
 	fmt.Printf("  slice: %s (%d records)", report.Pct1(res.SlicePct), res.SliceCount)
 	if res.CacheHit {
 		fmt.Printf("  [served from artifact store]")
+	}
+	if res.Verified {
+		fmt.Printf("  [invariants verified]")
 	}
 	fmt.Println()
 	if res.TraceKey != "" {

@@ -38,6 +38,11 @@ func main() {
 	id := fs.String("id", "", "job id (status/result commands)")
 	criteria := fs.String("criteria", "pixels", "slicing criteria: pixels|syscalls (submit command)")
 	wait := fs.Bool("wait", false, "submit: poll until the job finishes and print its result")
+	jobVerify := fs.Bool("verify", false, "submit: ask the service to run the slice oracles on the job")
+	count := fs.Int("count", 50, "verify: number of property-generated sites")
+	seed := fs.Uint64("seed", 1, "verify: first property-site seed (site k uses seed+k)")
+	golden := fs.String("golden", "examples/golden/corpus.json", "verify: golden corpus path (empty skips the golden phase)")
+	update := fs.Bool("update", false, "verify: regenerate the golden corpus digests instead of comparing")
 	workers := fs.Int("j", 0, "concurrent experiment sessions (0 = GOMAXPROCS)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -64,6 +69,12 @@ func main() {
 		if err == nil {
 			err = rec.write(BenchFile)
 		}
+	case "verify":
+		err = doVerify(*exp, experiments.VerifyConfig{
+			Scale: *scale, Workers: *workers,
+			PropertyCount: *count, Seed: *seed,
+			GoldenPath: *golden, Update: *update,
+		})
 	case "trace":
 		err = doTrace(*scale, *site, *tracePath)
 	case "slice":
@@ -77,7 +88,7 @@ func main() {
 	case "calibrate":
 		err = calibrate(*scale)
 	case "submit":
-		err = clientSubmit(*addr, *site, *scale, *criteria, *in, *wait)
+		err = clientSubmit(*addr, *site, *scale, *criteria, *in, *wait, *jobVerify)
 	case "status":
 		err = clientStatus(*addr, *id)
 	case "result":
@@ -142,8 +153,11 @@ commands:
   unused     Table I only (unused JS/CSS bytes)
   cpu        Figure 2 only (main-thread CPU utilization)
   calibrate  print per-thread statistics for tuning workload knobs
+  verify     run the slice-validation oracles (-exp golden|replay|differential|
+             invariants|all; -count/-seed property sites, -golden corpus path,
+             -update to regenerate digests)
   submit     send a job to a running websliced (-site or -i trace, -criteria,
-             -wait to block for the result)
+             -wait to block for the result, -verify for server-side oracles)
   status     print a websliced job's status (-id)
   result     print a finished websliced job's result (-id)
 
@@ -281,6 +295,39 @@ func repro(scale float64, exp string, faultSeed uint64, workers int, rec *benchR
 			})
 		}
 		fmt.Println(t.String())
+	}
+	return nil
+}
+
+// doVerify runs the slice-validation harness: golden corpus digests, replay,
+// differential (naive reference slicer), and invariant oracles. phase is the
+// -exp flag reinterpreted: golden|replay|differential|invariants|all.
+func doVerify(phase string, cfg experiments.VerifyConfig) error {
+	if phase == "all" && cfg.GoldenPath != "" {
+		if _, err := os.Stat(cfg.GoldenPath); err != nil && !cfg.Update {
+			return fmt.Errorf("golden corpus %s not found (run `webslice verify -update` to generate it, or pass -golden '')", cfg.GoldenPath)
+		}
+	}
+	st, err := experiments.ExecuteVerify(phase, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verify %s: OK\n", phase)
+	if st.GoldenSites > 0 {
+		fmt.Printf("  golden corpus:  %d sites, digests %s\n", st.GoldenSites,
+			map[bool]string{true: fmt.Sprintf("regenerated (%d changed)", st.Updated), false: "matched"}[cfg.Update])
+	}
+	if st.PropertySites > 0 {
+		fmt.Printf("  property sites: %d (seeds %d..%d)\n", st.PropertySites, cfg.Seed, cfg.Seed+uint64(st.PropertySites)-1)
+	}
+	if st.Replays > 0 {
+		fmt.Printf("  replays:        %d slices reproduced their criterion bytes\n", st.Replays)
+	}
+	if st.Differentials > 0 {
+		fmt.Printf("  differentials:  %d naive-vs-optimized comparisons agreed exactly\n", st.Differentials)
+	}
+	if st.Invariants > 0 {
+		fmt.Printf("  invariants:     %d sites passed closure/subset/monotonicity\n", st.Invariants)
 	}
 	return nil
 }

@@ -28,20 +28,21 @@ func main() {
 	memMB := flag.Int64("mem", 256, "artifact store in-memory LRU budget in MiB")
 	workers := flag.Int("workers", 4, "parallel slicing workers")
 	queue := flag.Int("queue", 64, "bounded job-queue depth (full queue returns 429)")
+	verify := flag.Bool("verify", false, "run the structural slice oracles on every job's result")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *memMB<<20, *workers, *queue); err != nil {
+	if err := run(*addr, *dir, *memMB<<20, *workers, *queue, *verify); err != nil {
 		fmt.Fprintln(os.Stderr, "websliced:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, memBytes int64, workers, queue int) error {
+func run(addr, dir string, memBytes int64, workers, queue int, verify bool) error {
 	st, err := store.Open(dir, memBytes)
 	if err != nil {
 		return err
 	}
-	mgr := service.New(service.Config{Workers: workers, QueueDepth: queue, Store: st})
+	mgr := service.New(service.Config{Workers: workers, QueueDepth: queue, Store: st, Verify: verify})
 
 	// The service API at /, plus net/http/pprof under /debug/pprof/ so a
 	// live daemon can be profiled (CPU, heap, goroutines) without a restart.

@@ -20,6 +20,7 @@ import (
 
 	"webslice/internal/cdg"
 	"webslice/internal/cfg"
+	"webslice/internal/replay"
 	"webslice/internal/slicer"
 	"webslice/internal/store"
 	"webslice/internal/trace"
@@ -34,6 +35,13 @@ type Profiler struct {
 
 	// Opts are the default options applied to every slicing run.
 	Opts slicer.Options
+
+	// VerifyInvariants makes every freshly computed slice pass the
+	// structural invariant oracles (replay.CheckInvariants) before it is
+	// returned or published to the store — cached results were already
+	// verified when computed, so hits pay nothing. An invariant violation is
+	// an error and the result is not cached.
+	VerifyInvariants bool
 
 	// store, when set, is consulted before computing: the forward pass
 	// loads a cached control dependence graph, and SliceCached loads whole
@@ -159,7 +167,10 @@ func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) (
 	hits := make([]bool, len(cs))
 	if p.store == nil {
 		rs, err := p.SliceMultiOpts(cs, opts)
-		return rs, hits, err
+		if err != nil {
+			return nil, nil, err
+		}
+		return rs, hits, p.verify(rs)
 	}
 	out := make([]*slicer.Result, len(cs))
 	var missing []slicer.Criteria
@@ -182,6 +193,9 @@ func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) (
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := p.verify(rs); err != nil {
+		return nil, nil, err
+	}
 	for j, r := range rs {
 		k := missingIdx[j]
 		out[k] = r
@@ -192,6 +206,20 @@ func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) (
 	return out, hits, nil
 }
 
+// verify runs the structural invariant oracles over freshly computed results
+// when VerifyInvariants is set.
+func (p *Profiler) verify(rs []*slicer.Result) error {
+	if !p.VerifyInvariants {
+		return nil
+	}
+	for _, r := range rs {
+		if err := replay.CheckInvariants(p.T, p.deps, r); err != nil {
+			return fmt.Errorf("core: slice %q failed verification: %w", r.Criteria, err)
+		}
+	}
+	return nil
+}
+
 // SliceCached runs the backward pass through the artifact store: if this
 // trace was already sliced with the same criteria and options, the stored
 // result is returned and both passes are skipped entirely. The bool
@@ -200,7 +228,10 @@ func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) (
 func (p *Profiler) SliceCached(c slicer.Criteria, opts slicer.Options) (*slicer.Result, bool, error) {
 	if p.store == nil {
 		r, err := p.SliceOpts(c, opts)
-		return r, false, err
+		if err != nil {
+			return nil, false, err
+		}
+		return r, false, p.verify([]*slicer.Result{r})
 	}
 	variant := store.SliceVariant(c.Name(), opts)
 	if r, ok, _ := p.store.GetSlice(p.key, variant); ok {
@@ -208,6 +239,9 @@ func (p *Profiler) SliceCached(c slicer.Criteria, opts slicer.Options) (*slicer.
 	}
 	r, err := p.SliceOpts(c, opts)
 	if err != nil {
+		return nil, false, err
+	}
+	if err := p.verify([]*slicer.Result{r}); err != nil {
 		return nil, false, err
 	}
 	if err := p.store.PutSlice(p.key, variant, r); err != nil {

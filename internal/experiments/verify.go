@@ -1,0 +1,356 @@
+package experiments
+
+// The verify experiment is the correctness tooling for the slicing engine:
+// every oracle in the validation hierarchy (TESTING.md) wired behind
+// `webslice verify`. Phases:
+//
+//   - golden:       re-run the committed golden corpus (examples/golden/)
+//                   and compare slice digests byte-for-byte, then replay
+//                   and invariant-check every corpus slice;
+//   - replay:       re-execute property-generated sites' slices with all
+//                   out-of-slice instructions elided, asserting criterion
+//                   bytes reproduce;
+//   - differential: run the deliberately naive reference slicer against
+//                   slicer.Slice/SliceMulti on property-generated sites;
+//   - invariants:   structural oracles (closure, subset, union
+//                   monotonicity) on property-generated sites;
+//   - all:          everything above.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"webslice/internal/browser"
+	"webslice/internal/cdg"
+	"webslice/internal/core"
+	"webslice/internal/refslicer"
+	"webslice/internal/replay"
+	"webslice/internal/sites"
+	"webslice/internal/slicer"
+	"webslice/internal/store"
+	"webslice/internal/trace"
+	"webslice/internal/vm"
+)
+
+// VerifyConfig tunes the verify experiment.
+type VerifyConfig struct {
+	// Scale applies to named golden-corpus sites (property sites are
+	// fixed-size minis).
+	Scale float64
+	// Workers bounds concurrent site sessions (<= 0 means GOMAXPROCS).
+	Workers int
+	// PropertyCount is how many randomized property sites the replay,
+	// differential, and invariants phases generate.
+	PropertyCount int
+	// Seed is the first property-site seed; site k uses Seed+k.
+	Seed uint64
+	// GoldenPath locates the golden corpus JSON; empty skips the golden
+	// phase.
+	GoldenPath string
+	// Update rewrites the golden corpus digests instead of comparing.
+	Update bool
+}
+
+// VerifyStats summarizes what a verify run checked.
+type VerifyStats struct {
+	GoldenSites   int
+	PropertySites int
+	Replays       int
+	Differentials int
+	Invariants    int
+	Updated       int
+}
+
+// verifyOpts are the slicing options every verify phase uses. No progress
+// sampling: golden digests must not depend on a sampling knob.
+var verifyOpts = slicer.Options{MainThread: browser.MainThread}
+
+// verifiedRun is one site rendered with a tape attached and sliced under
+// all three criteria.
+type verifiedRun struct {
+	bench         sites.Benchmark
+	tr            *trace.Trace
+	tape          *vm.Tape
+	deps          *cdg.Deps
+	pix, sys, uni *slicer.Result
+}
+
+// runVerified renders a benchmark with capture enabled and computes the
+// pixel, syscall, and union slices in one fused pass.
+func runVerified(b sites.Benchmark) (*verifiedRun, error) {
+	br := browser.New(b.Site, b.Profile)
+	tape := br.M.Capture()
+	br.RunSession()
+	br.M.SealTape()
+	if len(br.Errors) > 0 {
+		return nil, fmt.Errorf("verify: %s: %v", b.Name, br.Errors[0])
+	}
+	p := core.NewProfiler(br.M.Tr)
+	p.Opts = verifyOpts
+	if err := p.Forward(); err != nil {
+		return nil, fmt.Errorf("verify: %s: %w", b.Name, err)
+	}
+	rs, err := p.SliceMulti([]slicer.Criteria{
+		slicer.PixelCriteria{},
+		slicer.SyscallCriteria{},
+		slicer.Union{slicer.PixelCriteria{}, slicer.SyscallCriteria{}},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: %w", b.Name, err)
+	}
+	return &verifiedRun{
+		bench: b, tr: br.M.Tr, tape: tape, deps: p.Deps(),
+		pix: rs[0], sys: rs[1], uni: rs[2],
+	}, nil
+}
+
+// replayAll re-executes all three slices of a run against its tape.
+func (v *verifiedRun) replayAll() error {
+	checks := []struct {
+		res *slicer.Result
+		cfg replay.Config
+	}{
+		{v.pix, replay.Config{CheckPixels: true}},
+		{v.sys, replay.Config{CheckSyscalls: true}},
+		{v.uni, replay.Config{CheckPixels: true, CheckSyscalls: true}},
+	}
+	for _, c := range checks {
+		if d := replay.Replay(v.tr, v.tape, c.res, c.cfg); d != nil {
+			return fmt.Errorf("verify: %s: slice %q: %w", v.bench.Name, c.res.Criteria, d)
+		}
+	}
+	return nil
+}
+
+// diffAll runs the naive reference slicer per criterion and demands exact
+// agreement with the optimized results — against the fused SliceMulti
+// output for both criteria, and against a solo Slice run for pixels (one
+// naive walk oracles both optimized APIs; the union criterion is covered by
+// the monotonicity invariant and the union replay).
+func (v *verifiedRun) diffAll() error {
+	refPix, err := refslicer.Slice(v.tr, v.deps, slicer.PixelCriteria{}, false)
+	if err != nil {
+		return fmt.Errorf("verify: %s: %w", v.bench.Name, err)
+	}
+	if err := refslicer.Equal(refPix, v.pix); err != nil {
+		return fmt.Errorf("verify: %s: criterion \"pixels\" (fused): %w", v.bench.Name, err)
+	}
+	solo, err := slicer.Slice(v.tr, v.deps, slicer.PixelCriteria{}, verifyOpts)
+	if err != nil {
+		return fmt.Errorf("verify: %s: %w", v.bench.Name, err)
+	}
+	if err := refslicer.Equal(refPix, solo); err != nil {
+		return fmt.Errorf("verify: %s: criterion \"pixels\" (solo): %w", v.bench.Name, err)
+	}
+	refSys, err := refslicer.Slice(v.tr, v.deps, slicer.SyscallCriteria{}, false)
+	if err != nil {
+		return fmt.Errorf("verify: %s: %w", v.bench.Name, err)
+	}
+	if err := refslicer.Equal(refSys, v.sys); err != nil {
+		return fmt.Errorf("verify: %s: criterion \"syscalls\" (fused): %w", v.bench.Name, err)
+	}
+	return nil
+}
+
+// invariantsAll runs the structural oracles over a run's slices.
+func (v *verifiedRun) invariantsAll() error {
+	for _, res := range []*slicer.Result{v.pix, v.sys, v.uni} {
+		if err := replay.CheckInvariants(v.tr, v.deps, res); err != nil {
+			return fmt.Errorf("verify: %s: slice %q: %w", v.bench.Name, res.Criteria, err)
+		}
+	}
+	if err := replay.CheckMonotonic(v.uni, v.pix, v.sys); err != nil {
+		return fmt.Errorf("verify: %s: %w", v.bench.Name, err)
+	}
+	return nil
+}
+
+// SliceDigest is the content digest of a slice result: hex SHA-256 over the
+// store's deterministic encoding.
+func SliceDigest(r *slicer.Result) string {
+	sum := sha256.Sum256(store.EncodeResult(r))
+	return hex.EncodeToString(sum[:])
+}
+
+// GoldenEntry pins one golden-corpus site: a named benchmark at a scale, or
+// a property seed, with the expected slice digests.
+type GoldenEntry struct {
+	Name     string  `json:"name,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Pixels   string  `json:"pixels"`
+	Syscalls string  `json:"syscalls"`
+}
+
+// GoldenCorpus is the committed golden-corpus file format
+// (examples/golden/corpus.json).
+type GoldenCorpus struct {
+	Comment string        `json:"comment,omitempty"`
+	Sites   []GoldenEntry `json:"sites"`
+}
+
+// Bench materializes the entry's benchmark.
+func (e *GoldenEntry) Bench() (sites.Benchmark, error) {
+	if e.Name != "" {
+		return sites.ByName(e.Name, sites.Options{Scale: e.Scale})
+	}
+	return sites.Random(e.Seed), nil
+}
+
+// Label names the entry in reports.
+func (e *GoldenEntry) Label() string {
+	if e.Name != "" {
+		return fmt.Sprintf("%s@%g", e.Name, e.Scale)
+	}
+	return fmt.Sprintf("rand-%d", e.Seed)
+}
+
+// LoadGolden reads a golden corpus file.
+func LoadGolden(path string) (*GoldenCorpus, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("verify: golden corpus: %w", err)
+	}
+	var c GoldenCorpus
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("verify: golden corpus %s: %w", path, err)
+	}
+	if len(c.Sites) == 0 {
+		return nil, fmt.Errorf("verify: golden corpus %s: no sites", path)
+	}
+	return &c, nil
+}
+
+// ExecuteVerify runs one verify phase ("golden", "replay", "differential",
+// "invariants") or "all".
+func ExecuteVerify(phase string, cfg VerifyConfig) (*VerifyStats, error) {
+	if cfg.PropertyCount <= 0 {
+		cfg.PropertyCount = 50
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	stats := &VerifyStats{}
+	switch phase {
+	case "golden":
+		return stats, verifyGolden(cfg, stats)
+	case "replay", "differential", "invariants":
+		return stats, verifyProperty(phase, cfg, stats)
+	case "all":
+		if err := verifyGolden(cfg, stats); err != nil {
+			return stats, err
+		}
+		return stats, verifyProperty("all", cfg, stats)
+	default:
+		return nil, fmt.Errorf("verify: unknown phase %q (want golden, replay, differential, invariants, or all)", phase)
+	}
+}
+
+// verifyGolden checks (or, with cfg.Update, regenerates) the golden corpus:
+// slice digests must match byte-for-byte, and every corpus slice must
+// replay and satisfy the invariants.
+func verifyGolden(cfg VerifyConfig, stats *VerifyStats) error {
+	if cfg.GoldenPath == "" {
+		return nil
+	}
+	corpus, err := LoadGolden(cfg.GoldenPath)
+	if err != nil {
+		return err
+	}
+	var updated atomic.Int64
+	err = forEach(cfg.Workers, len(corpus.Sites), func(i int) error {
+		e := &corpus.Sites[i]
+		b, err := e.Bench()
+		if err != nil {
+			return fmt.Errorf("verify: golden %s: %w", e.Label(), err)
+		}
+		v, err := runVerified(b)
+		if err != nil {
+			return err
+		}
+		pixD, sysD := SliceDigest(v.pix), SliceDigest(v.sys)
+		if cfg.Update {
+			if e.Pixels != pixD || e.Syscalls != sysD {
+				updated.Add(1)
+			}
+			e.Pixels, e.Syscalls = pixD, sysD
+		} else {
+			if e.Pixels != pixD {
+				return fmt.Errorf("verify: golden %s: pixel slice digest %s, expected %s (slice behavior changed — run `webslice verify -update` if intended)",
+					e.Label(), pixD, e.Pixels)
+			}
+			if e.Syscalls != sysD {
+				return fmt.Errorf("verify: golden %s: syscall slice digest %s, expected %s (slice behavior changed — run `webslice verify -update` if intended)",
+					e.Label(), sysD, e.Syscalls)
+			}
+		}
+		if err := v.replayAll(); err != nil {
+			return err
+		}
+		return v.invariantsAll()
+	})
+	if err != nil {
+		return err
+	}
+	stats.GoldenSites = len(corpus.Sites)
+	stats.Replays += 3 * len(corpus.Sites)
+	stats.Invariants += len(corpus.Sites)
+	stats.Updated = int(updated.Load())
+	if cfg.Update {
+		out, err := json.MarshalIndent(corpus, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(filepath.Dir(cfg.GoldenPath), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.GoldenPath, append(out, '\n'), 0o644)
+	}
+	return nil
+}
+
+// verifyProperty pushes PropertyCount randomized mini-sites through the
+// full pipeline and applies the requested oracle to each.
+func verifyProperty(phase string, cfg VerifyConfig, stats *VerifyStats) error {
+	err := forEach(cfg.Workers, cfg.PropertyCount, func(i int) error {
+		v, err := runVerified(sites.Random(cfg.Seed + uint64(i)))
+		if err != nil {
+			return err
+		}
+		if phase == "replay" || phase == "all" {
+			if err := v.replayAll(); err != nil {
+				return err
+			}
+		}
+		if phase == "differential" || phase == "all" {
+			if err := v.diffAll(); err != nil {
+				return err
+			}
+		}
+		if phase == "invariants" || phase == "all" {
+			if err := v.invariantsAll(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	stats.PropertySites = cfg.PropertyCount
+	if phase == "replay" || phase == "all" {
+		stats.Replays += 3 * cfg.PropertyCount
+	}
+	if phase == "differential" || phase == "all" {
+		stats.Differentials += 3 * cfg.PropertyCount
+	}
+	if phase == "invariants" || phase == "all" {
+		stats.Invariants += cfg.PropertyCount
+	}
+	return nil
+}

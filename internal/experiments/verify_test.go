@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webslice/internal/sites"
+)
+
+const goldenPath = "../../examples/golden/corpus.json"
+
+// TestGoldenCorpus re-runs every committed golden site and demands the slice
+// digests match byte-for-byte, then replays and invariant-checks each slice.
+// A mismatch here means slicing behavior changed: if that was intended,
+// regenerate with `webslice verify -exp golden -update`.
+func TestGoldenCorpus(t *testing.T) {
+	st, err := ExecuteVerify("golden", VerifyConfig{GoldenPath: goldenPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GoldenSites < 8 {
+		t.Errorf("golden corpus has %d sites, want >= 8", st.GoldenSites)
+	}
+	if st.Replays != 3*st.GoldenSites {
+		t.Errorf("replayed %d slices for %d sites, want 3 per site", st.Replays, st.GoldenSites)
+	}
+}
+
+// TestGoldenCorpusDigestsPinned guards the corpus file itself: every entry
+// must carry non-empty digests (an empty digest would make the golden phase
+// vacuously "pass" after a careless regeneration).
+func TestGoldenCorpusDigestsPinned(t *testing.T) {
+	c, err := LoadGolden(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range c.Sites {
+		if len(e.Pixels) != 64 || len(e.Syscalls) != 64 {
+			t.Errorf("golden %s: digests not pinned (pixels %q, syscalls %q)", e.Label(), e.Pixels, e.Syscalls)
+		}
+	}
+}
+
+// TestVerifyDetectsDigestDrift corrupts one digest in a copy of the corpus
+// and demands the golden phase fails naming the site.
+func TestVerifyDetectsDigestDrift(t *testing.T) {
+	c, err := LoadGolden(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep only the cheapest entry (a property seed) and break its digest.
+	var entry *GoldenEntry
+	for i := range c.Sites {
+		if c.Sites[i].Seed != 0 {
+			entry = &c.Sites[i]
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("no seed entry in corpus")
+	}
+	entry.Pixels = strings.Repeat("0", 64)
+	bad := filepath.Join(t.TempDir(), "corpus.json")
+	writeGoldenFor(t, bad, &GoldenCorpus{Sites: []GoldenEntry{*entry}})
+	_, err = ExecuteVerify("golden", VerifyConfig{GoldenPath: bad})
+	if err == nil {
+		t.Fatal("golden phase accepted a corrupted digest")
+	}
+	if !strings.Contains(err.Error(), entry.Label()) {
+		t.Errorf("error does not name the drifted site: %v", err)
+	}
+}
+
+func writeGoldenFor(t *testing.T, path string, c *GoldenCorpus) {
+	t.Helper()
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyPropertySites pushes randomized mini-sites through the full
+// slice→replay→diff→invariants pipeline. The count is kept modest here so
+// the suite stays fast under -race; `webslice verify -exp all` (run by
+// ci.sh) covers the full 50-site sweep.
+func TestVerifyPropertySites(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	st, err := ExecuteVerify("all", VerifyConfig{PropertyCount: n, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PropertySites != n || st.Replays != 3*n || st.Differentials != 3*n || st.Invariants != n {
+		t.Errorf("unexpected stats: %+v", st)
+	}
+}
+
+// TestVerifyRejectsUnknownPhase pins the phase whitelist.
+func TestVerifyRejectsUnknownPhase(t *testing.T) {
+	if _, err := ExecuteVerify("bogus", VerifyConfig{}); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}
+
+// TestRandomSitesAreDeterministic: the same seed must produce the same trace
+// bytes (and hence the same digests) forever — a property failure reported by
+// seed has to reproduce.
+func TestRandomSitesAreDeterministic(t *testing.T) {
+	a, err := runVerified(sites.Random(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runVerified(sites.Random(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.tr.Recs) != len(b.tr.Recs) {
+		t.Fatalf("seed 42 traced %d then %d records", len(a.tr.Recs), len(b.tr.Recs))
+	}
+	if SliceDigest(a.pix) != SliceDigest(b.pix) || SliceDigest(a.sys) != SliceDigest(b.sys) {
+		t.Error("seed 42 produced different slice digests across runs")
+	}
+}
+
+// TestDiffCatchesABrokenOptimizedResult makes sure the differential path is
+// live: perturbing the optimized slice must trip refslicer.Equal.
+func TestDiffCatchesABrokenOptimizedResult(t *testing.T) {
+	v, err := runVerified(sites.Random(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.diffAll(); err != nil {
+		t.Fatalf("intact run failed differential: %v", err)
+	}
+	// Flip the first in-slice record out.
+	for i := 0; i < v.pix.Total; i++ {
+		if v.pix.InSlice.Get(i) {
+			v.pix.InSlice[i>>6] &^= 1 << (uint(i) & 63)
+			v.pix.SliceCount--
+			break
+		}
+	}
+	if err := v.diffAll(); err == nil {
+		t.Error("differential accepted a perturbed optimized slice")
+	}
+}

@@ -1,0 +1,245 @@
+// Package refslicer is a deliberately naive reference implementation of the
+// backward slicing pass, used as a differential oracle against the optimized
+// internal/slicer. It is a direct transcription of §III-B of the paper with
+// none of the production engine's machinery: no criteria fusion, no pooled
+// frame stacks, no dense tallies, no word-packed live-memory sets — just
+// maps everywhere and one O(n·m) reverse walk per criterion. Slow and
+// obviously correct is the whole point: if slicer.Slice and refslicer.Slice
+// ever disagree on a trace, one of them has a bug, and this one is the
+// easier to audit.
+package refslicer
+
+import (
+	"fmt"
+
+	"webslice/internal/cdg"
+	"webslice/internal/isa"
+	"webslice/internal/slicer"
+	"webslice/internal/trace"
+	"webslice/internal/vmem"
+)
+
+// Result is the naive slicer's output: which record indices are in the
+// slice, plus the two scalars the optimized Result also reports.
+type Result struct {
+	InSlice     []bool
+	SliceCount  int
+	PendingLeft int
+}
+
+// threadState mirrors the optimized slicer's per-thread backward-walk state,
+// but with the nested-maps representation the optimized version abandoned
+// for performance: pending branch PCs and frame contribution are maps keyed
+// by call depth (which may go negative for traces that open mid-function).
+type threadState struct {
+	depth   int
+	pending map[int]map[uint32]bool
+	contrib map[int]bool
+}
+
+type state struct {
+	t     *trace.Trace
+	deps  *cdg.Deps
+	crit  slicer.Criteria
+	noCDG bool
+
+	res     *Result
+	regs    map[isa.Reg]bool
+	liveMem map[vmem.Addr]bool
+	threads map[uint8]*threadState
+}
+
+// Slice runs one naive backward pass over t for a single criterion. noCDG
+// disables the pending-branch mechanism (the data-dependence-only ablation).
+func Slice(t *trace.Trace, deps *cdg.Deps, c slicer.Criteria, noCDG bool) (*Result, error) {
+	if c == nil {
+		return nil, fmt.Errorf("refslicer: nil criteria")
+	}
+	if deps == nil && !noCDG {
+		return nil, fmt.Errorf("refslicer: control dependences required")
+	}
+	s := &state{
+		t:     t,
+		deps:  deps,
+		crit:  c,
+		noCDG: noCDG,
+		res: &Result{
+			InSlice: make([]bool, len(t.Recs)),
+		},
+		regs:    make(map[isa.Reg]bool),
+		liveMem: make(map[vmem.Addr]bool),
+		threads: make(map[uint8]*threadState),
+	}
+	for i := len(t.Recs) - 1; i >= 0; i-- {
+		s.step(i, &t.Recs[i])
+	}
+	for _, th := range s.threads {
+		for _, set := range th.pending {
+			s.res.PendingLeft += len(set)
+		}
+	}
+	return s.res, nil
+}
+
+func (s *state) thread(tid uint8) *threadState {
+	th := s.threads[tid]
+	if th == nil {
+		th = &threadState{
+			pending: make(map[int]map[uint32]bool),
+			contrib: make(map[int]bool),
+		}
+		s.threads[tid] = th
+	}
+	return th
+}
+
+func (s *state) step(i int, r *trace.Rec) {
+	th := s.thread(r.TID)
+
+	if mem, anchor := s.crit.At(i, r, s.t); len(mem) > 0 || anchor {
+		for _, rg := range mem {
+			s.addMem(rg)
+		}
+		if anchor {
+			s.mark(i, r, th)
+			s.setReg(r.Src1)
+			s.setReg(r.Src2)
+		}
+	}
+
+	switch r.Kind {
+	case isa.KindConst:
+		if s.killReg(r.Dst) {
+			s.mark(i, r, th)
+		}
+	case isa.KindOp:
+		if s.killReg(r.Dst) {
+			s.mark(i, r, th)
+			s.setReg(r.Src1)
+			s.setReg(r.Src2)
+		}
+	case isa.KindLoad:
+		if s.killReg(r.Dst) {
+			s.mark(i, r, th)
+			s.addMem(r.MemRange())
+			s.setReg(r.Src2)
+		}
+	case isa.KindStore:
+		if s.killMem(r.MemRange()) {
+			s.mark(i, r, th)
+			s.setReg(r.Src1)
+			s.setReg(r.Src2)
+		}
+	case isa.KindBranch:
+		if !s.noCDG && th.pending[th.depth][r.PC] {
+			delete(th.pending[th.depth], r.PC)
+			s.mark(i, r, th)
+			s.setReg(r.Src1)
+		}
+	case isa.KindRet:
+		th.depth++
+		delete(th.pending, th.depth)
+		delete(th.contrib, th.depth)
+	case isa.KindCall:
+		contributed := th.contrib[th.depth]
+		s.res.PendingLeft += len(th.pending[th.depth])
+		delete(th.pending, th.depth)
+		delete(th.contrib, th.depth)
+		th.depth--
+		if contributed {
+			s.mark(i, r, th)
+		}
+	case isa.KindSyscall:
+		if eff := s.t.Sys[i]; eff != nil {
+			hit := false
+			for _, w := range eff.Writes {
+				if s.killMem(w) {
+					hit = true
+				}
+			}
+			if s.killReg(r.Dst) {
+				hit = true
+			}
+			if hit {
+				s.mark(i, r, th)
+				for _, rd := range eff.Reads {
+					s.addMem(rd)
+				}
+			}
+		}
+	case isa.KindMarker, isa.KindNop:
+	}
+}
+
+func (s *state) mark(i int, r *trace.Rec, th *threadState) {
+	if s.res.InSlice[i] {
+		return
+	}
+	s.res.InSlice[i] = true
+	s.res.SliceCount++
+	th.contrib[th.depth] = true
+	if s.noCDG || s.deps == nil {
+		return
+	}
+	for _, bpc := range s.deps.Of(r.PC) {
+		set := th.pending[th.depth]
+		if set == nil {
+			set = make(map[uint32]bool)
+			th.pending[th.depth] = set
+		}
+		set[bpc] = true
+	}
+}
+
+func (s *state) setReg(r isa.Reg) {
+	if r != isa.RegNone {
+		s.regs[r] = true
+	}
+}
+
+func (s *state) killReg(r isa.Reg) bool {
+	if r == isa.RegNone {
+		return false
+	}
+	was := s.regs[r]
+	delete(s.regs, r)
+	return was
+}
+
+func (s *state) addMem(rg vmem.Range) {
+	for off := uint64(0); off < uint64(rg.Size); off++ {
+		s.liveMem[rg.Addr+vmem.Addr(off)] = true
+	}
+}
+
+func (s *state) killMem(rg vmem.Range) bool {
+	hit := false
+	for off := uint64(0); off < uint64(rg.Size); off++ {
+		a := rg.Addr + vmem.Addr(off)
+		if s.liveMem[a] {
+			hit = true
+		}
+		delete(s.liveMem, a)
+	}
+	return hit
+}
+
+// Equal reports whether the naive result agrees exactly with the optimized
+// slicer's, naming the first differing record index when it does not.
+func Equal(ref *Result, got *slicer.Result) error {
+	if got.Total != len(ref.InSlice) {
+		return fmt.Errorf("refslicer: total mismatch: ref %d vs got %d", len(ref.InSlice), got.Total)
+	}
+	for i, in := range ref.InSlice {
+		if got.InSlice.Get(i) != in {
+			return fmt.Errorf("refslicer: first disagreement at record %d: ref in-slice=%v, optimized=%v", i, in, got.InSlice.Get(i))
+		}
+	}
+	if got.SliceCount != ref.SliceCount {
+		return fmt.Errorf("refslicer: slice count mismatch: ref %d vs got %d", ref.SliceCount, got.SliceCount)
+	}
+	if got.PendingLeft != ref.PendingLeft {
+		return fmt.Errorf("refslicer: pending residue mismatch: ref %d vs got %d", ref.PendingLeft, got.PendingLeft)
+	}
+	return nil
+}

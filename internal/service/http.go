@@ -15,12 +15,13 @@ const maxTraceBody = 256 << 20
 // NewHandler returns the websliced HTTP API over a manager:
 //
 //	POST   /jobs            submit a site job (JSON Spec)     -> 202 {id}
-//	POST   /jobs/trace      submit a binary trace (?criteria) -> 202 {id}
+//	POST   /jobs/trace      submit a binary trace
+//	                        (?criteria, ?verify=1)            -> 202 {id}
 //	GET    /jobs            list jobs                         -> 200 [Info]
 //	GET    /jobs/{id}        job status                       -> 200 Info
 //	GET    /jobs/{id}/result finished job result              -> 200 Result
 //	DELETE /jobs/{id}        cancel                           -> 200
-//	GET    /healthz         liveness                          -> 200
+//	GET    /healthz         liveness (503 while draining)     -> 200
 //	GET    /metrics         text exposition of the registry   -> 200
 //
 // Backpressure surfaces as HTTP 429 (queue full) and shutdown as 503.
@@ -42,7 +43,15 @@ func NewHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("reading trace body: %w", err))
 			return
 		}
-		submit(m, w, Spec{Trace: body, Criteria: r.URL.Query().Get("criteria")})
+		if len(body) == 0 {
+			httpError(w, http.StatusBadRequest, errors.New("empty trace body"))
+			return
+		}
+		submit(m, w, Spec{
+			Trace:    body,
+			Criteria: r.URL.Query().Get("criteria"),
+			Verify:   r.URL.Query().Get("verify") == "1" || r.URL.Query().Get("verify") == "true",
+		})
 	})
 
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -85,6 +94,12 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// During drain the instance still answers (running jobs finish) but
+		// reports unhealthy so load balancers stop routing new work to it.
+		if m.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "workers": m.Workers()})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": m.Workers()})
 	})
 

@@ -208,6 +208,131 @@ func TestHTTPCancel(t *testing.T) {
 	}
 }
 
+// TestHTTPRejectsBadSubmissions is the table-driven sweep over invalid
+// submissions: every row must be rejected synchronously with a 4xx and a
+// JSON error body — none may reach a worker.
+func TestHTTPRejectsBadSubmissions(t *testing.T) {
+	ran := make(chan struct{}, 16)
+	srv, _ := testServer(t, Config{
+		Workers: 1,
+		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+			ran <- struct{}{}
+			return &Result{}, nil
+		},
+	})
+	cases := []struct {
+		name        string
+		path        string
+		contentType string
+		body        string
+		wantCode    int
+		wantErr     string
+	}{
+		{"negative scale", "/jobs", "application/json", `{"site":"maps","scale":-1}`, 400, "invalid scale"},
+		{"tiny negative scale", "/jobs", "application/json", `{"site":"maps","scale":-0.001}`, 400, "invalid scale"},
+		{"unknown site", "/jobs", "application/json", `{"site":"no-such-site"}`, 400, "unknown site"},
+		{"unknown criteria", "/jobs", "application/json", `{"site":"maps","criteria":"wishes"}`, 400, "unknown criteria"},
+		{"malformed json", "/jobs", "application/json", `{"site":`, 400, "bad job spec"},
+		{"empty trace body", "/jobs/trace", "application/octet-stream", "", 400, "empty trace body"},
+		{"non-trace bytes", "/jobs/trace", "application/octet-stream", "GIF89a definitely pixels", 400, "not a WSLT trace"},
+		{"truncated magic", "/jobs/trace", "application/octet-stream", "WSL", 400, "not a WSLT trace"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+tc.path, tc.contentType, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantCode {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			readJSON(t, resp, &e)
+			if !strings.Contains(e.Error, tc.wantErr) {
+				t.Errorf("error body %q does not mention %q", e.Error, tc.wantErr)
+			}
+		})
+	}
+	select {
+	case <-ran:
+		t.Fatal("a rejected submission reached the runner")
+	default:
+	}
+}
+
+func TestHTTPHealthzDuringDrain(t *testing.T) {
+	block := make(chan struct{})
+	m := New(Config{
+		Workers:    1,
+		QueueDepth: 4,
+		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+			<-block
+			return &Result{}, nil
+		},
+	})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	// Healthy before drain.
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d before drain, want 200", r.StatusCode)
+	}
+
+	id, err := m.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, id, StatusRunning)
+	done := make(chan struct{})
+	go func() { m.Close(); close(done) }()
+	waitDraining(t, m)
+
+	// Unhealthy while draining: 503 with an explicit status, so a balancer
+	// stops routing here while the in-flight job finishes.
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz = %d during drain, want 503", r.StatusCode)
+	}
+	readJSON(t, r, &h)
+	if h.Status != "draining" {
+		t.Errorf("healthz status = %q during drain, want draining", h.Status)
+	}
+
+	// New submissions are turned away with 503 as well.
+	resp := postJSON(t, srv.URL+"/jobs", Spec{Site: "maps"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+
+	close(block)
+	<-done
+}
+
+func waitDraining(t *testing.T, m *Manager) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !m.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for drain to begin")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestHTTPHealthAndMetrics(t *testing.T) {
 	srv, m := testServer(t, Config{Workers: 3})
 	r, err := http.Get(srv.URL + "/healthz")

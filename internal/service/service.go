@@ -18,6 +18,7 @@ import (
 	"webslice/internal/browser"
 	"webslice/internal/core"
 	"webslice/internal/metrics"
+	"webslice/internal/replay"
 	"webslice/internal/sites"
 	"webslice/internal/slicer"
 	"webslice/internal/store"
@@ -34,6 +35,10 @@ type Spec struct {
 	// Criteria selects the slicing criterion: "pixels" (default) or
 	// "syscalls".
 	Criteria string `json:"criteria,omitempty"`
+	// Verify runs the structural slice oracles (replay.CheckInvariants) on
+	// this job's result, failing the job on a violation. Fresh computations
+	// are checked before caching; cache hits are re-checked.
+	Verify bool `json:"verify,omitempty"`
 	// Trace is a binary WSLT trace to slice instead of rendering a site.
 	Trace []byte `json:"-"`
 }
@@ -70,6 +75,7 @@ type Result struct {
 	SliceCount int                `json:"slice_instructions"`
 	SlicePct   float64            `json:"slice_pct"`
 	CacheHit   bool               `json:"cache_hit"`
+	Verified   bool               `json:"verified,omitempty"`
 	Threads    []ThreadStat       `json:"threads,omitempty"`
 	Categories map[string]float64 `json:"categories,omitempty"`
 }
@@ -112,6 +118,9 @@ type Config struct {
 	// Store, when set, caches forward-pass artifacts and slice results so
 	// repeat jobs over identical traces skip both passes.
 	Store *store.Store
+	// Verify applies Spec.Verify to every job regardless of what the
+	// submission asked for (websliced -verify).
+	Verify bool
 	// Metrics receives the service counters; nil creates a private
 	// registry (reachable via Manager.Metrics).
 	Metrics *metrics.Registry
@@ -196,6 +205,7 @@ func New(cfg Config) *Manager {
 		reg.Func("store_puts", func() int64 { return cfg.Store.Stats().Puts })
 		reg.Func("store_evicted", func() int64 { return cfg.Store.Stats().Evicted })
 		reg.Func("store_corrupt", func() int64 { return cfg.Store.Stats().Corrupt })
+		reg.Func("store_mem_bytes", cfg.Store.MemBytes)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -253,6 +263,12 @@ func validate(spec *Spec) error {
 		return fmt.Errorf("service: unknown criteria %q (want pixels or syscalls)", spec.Criteria)
 	}
 	if len(spec.Trace) > 0 {
+		// Reject obvious garbage at submission time: a body that doesn't even
+		// start with the trace magic would only fail later inside a worker,
+		// burning a queue slot and reporting the error asynchronously.
+		if !trace.HasMagic(spec.Trace) {
+			return fmt.Errorf("service: submitted body is not a WSLT trace")
+		}
 		return nil
 	}
 	switch {
@@ -350,6 +366,15 @@ func (m *Manager) Jobs() []Info {
 	return out
 }
 
+// Draining reports whether shutdown has begun: submissions are rejected but
+// accepted jobs may still be running. Health endpoints use this to flip a
+// load balancer away from the instance before the drain completes.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
 // Close stops accepting jobs, drains everything already accepted (queued
 // jobs run to completion), and returns once every worker has exited.
 func (m *Manager) Close() {
@@ -430,6 +455,8 @@ func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
 		}
 		key = p.Key()
 	}
+	verify := spec.Verify || m.cfg.Verify
+	p.VerifyInvariants = verify
 	var crit slicer.Criteria = slicer.PixelCriteria{}
 	if spec.Criteria == "syscalls" {
 		crit = slicer.SyscallCriteria{}
@@ -437,6 +464,17 @@ func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
 	res, hit, err := p.SliceCached(crit, p.Opts)
 	if err != nil {
 		return nil, err
+	}
+	if verify && hit {
+		// Fresh computations were verified inside SliceCached; a cached
+		// result is re-checked here (the dependence graph is itself usually a
+		// cache hit, so this costs one forward walk of the trace).
+		if err := p.Forward(); err != nil {
+			return nil, err
+		}
+		if err := replay.CheckInvariants(t, p.Deps(), res); err != nil {
+			return nil, fmt.Errorf("service: cached slice failed verification: %w", err)
+		}
 	}
 	if canceled() {
 		return nil, ErrCanceled
@@ -448,6 +486,7 @@ func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
 		SliceCount: res.SliceCount,
 		SlicePct:   res.Percent(),
 		CacheHit:   hit,
+		Verified:   verify,
 		Categories: make(map[string]float64, len(analysis.Categories)),
 	}
 	for _, th := range t.Threads {

@@ -326,8 +326,15 @@ func TestTraceJobRoundTrip(t *testing.T) {
 	if res.Total != len(br.M.Tr.Recs) {
 		t.Fatalf("total = %d, want %d", res.Total, len(br.M.Tr.Recs))
 	}
-	// Garbage bytes fail cleanly.
-	id2, err := m.Submit(Spec{Trace: []byte("not a trace")})
+	// Garbage bytes are rejected at submission — they never reach a worker.
+	if _, err := m.Submit(Spec{Trace: []byte("not a trace")}); err == nil {
+		t.Fatal("submit of non-WSLT bytes accepted")
+	}
+	// A body with a valid magic but a corrupt payload passes the eager sniff
+	// and fails asynchronously in the worker.
+	corrupt := append([]byte(nil), buf.Bytes()...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	id2, err := m.Submit(Spec{Trace: corrupt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,13 +343,40 @@ func TestTraceJobRoundTrip(t *testing.T) {
 		info, _ := m.Info(id2)
 		if info.Status.Terminal() {
 			if info.Status != StatusFailed {
-				t.Fatalf("garbage trace job = %s, want failed", info.Status)
+				t.Fatalf("corrupt trace job = %s, want failed", info.Status)
 			}
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("timeout waiting for garbage trace job")
+			t.Fatal("timeout waiting for corrupt trace job")
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestVerifiedJob runs a real job with Spec.Verify set: the fresh
+// computation is invariant-checked before caching, and a repeat submission
+// (a cache hit) is re-checked. Both report Verified.
+func TestVerifiedJob(t *testing.T) {
+	st, _ := store.Open(t.TempDir(), 0)
+	m := New(Config{Workers: 1, Store: st})
+	defer m.Close()
+
+	for round, wantHit := range []bool{false, true} {
+		id, err := m.Submit(Spec{Site: "amazon-desktop", Scale: 0.04, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitStatus(t, m, id, StatusDone)
+		res, ok := m.Result(id)
+		if !ok {
+			t.Fatalf("round %d: no result", round)
+		}
+		if !res.Verified {
+			t.Errorf("round %d: result not marked verified", round)
+		}
+		if res.CacheHit != wantHit {
+			t.Errorf("round %d: cache hit = %v, want %v", round, res.CacheHit, wantHit)
+		}
 	}
 }

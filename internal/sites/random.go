@@ -1,0 +1,122 @@
+package sites
+
+import (
+	"fmt"
+
+	"webslice/internal/browser"
+	"webslice/internal/content"
+)
+
+// rng is a splitmix64 generator: tiny, stateless between sites, and — unlike
+// math/rand's default source — guaranteed stable across Go releases, so a
+// property-test failure reported by seed reproduces forever.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// between returns a value in [lo, hi].
+func (r *rng) between(lo, hi int) int { return lo + r.intn(hi-lo+1) }
+
+func (r *rng) chance(pct int) bool { return r.intn(100) < pct }
+
+// Random synthesizes a deterministic mini-site from a seed: a small page
+// with randomized DOM shape (sections, images, panes, occluded layers),
+// unused CSS/JS fractions, heartbeat timers, and browser profile, optionally
+// followed by a randomized browse session over the handlers that exist. The
+// sites run the full real browser pipeline in well under a second each, so
+// the property-test harness can push dozens of structurally diverse traces
+// through slice→replay→diff per run. The same seed always builds the same
+// site (and hence the same trace bytes).
+func Random(seed uint64) Benchmark {
+	r := &rng{s: seed * 0x9e3779b97f4a7c15}
+	name := fmt.Sprintf("rand-%d", seed)
+
+	spec := pageSpec{
+		name: name, host: fmt.Sprintf("rand%d.example", seed),
+		vw: 320 + 64*r.intn(3), vh: 240 + 80*r.intn(3),
+		sections:        r.intn(3),
+		itemsPerSection: r.between(1, 2),
+		images:          r.intn(3),
+		imageKB:         r.between(1, 2),
+		imgW:            64 + 32*r.intn(3), imgH: 48 + 32*r.intn(3),
+		imgLatencyMs: 40 * r.between(1, 4),
+		promoLayer:   r.chance(40),
+		newsPane:     r.chance(35),
+		searchBox:    r.chance(50),
+		canvasPane:   r.chance(20),
+		cssUnused:    r.intn(10),
+		cssDecls:     r.between(2, 4),
+		heartbeats:   r.intn(2),
+		hbPeriodMs:   100 * r.between(2, 8),
+		usedIters:    r.between(5, 20),
+	}
+	if spec.sections > 0 {
+		spec.sectionMinHeight = 80 + 40*r.intn(4)
+	}
+	for li, n := 0, r.between(1, 2); li < n; li++ {
+		spec.libs = append(spec.libs, libSpec{
+			name:       fmt.Sprintf("r%dl%d", seed%1000, li),
+			used:       r.between(1, 3),
+			browse:     r.intn(3),
+			dead:       r.intn(5),
+			bytesPerFn: 60 * r.between(1, 3),
+			iters:      r.between(5, 20),
+			late:       30 * r.between(1, 4),
+		})
+	}
+
+	site := build(spec, Options{Scale: 1})
+	if r.chance(50) {
+		site.Session = randomSession(r, spec)
+	}
+
+	p := browser.DefaultProfile()
+	p.RasterWorkers = r.between(1, 3)
+	p.PoolWorkers = r.between(1, 2)
+	p.DebugVerbosity = r.intn(5)
+	p.IPCPayload = 256 * r.between(1, 4)
+	p.FrameOverhead = r.between(1, 3)
+	p.PrepaintFactor = 1
+	p.IdleFrames = r.intn(8)
+	p.NetWastePasses = r.intn(2)
+	p.DecodeWastePasses = r.intn(2)
+	p.GCSweeps = r.intn(4)
+	return Benchmark{Name: name, Site: site, Profile: p}
+}
+
+// randomSession scripts a short randomized interaction over the handlers the
+// page actually wired (menu and photo-roll always exist; news/search/zoom
+// only with their panes).
+func randomSession(r *rng, spec pageSpec) []content.Action {
+	targets := []string{"menu-btn", "roll-next"}
+	if spec.newsPane {
+		targets = append(targets, "news-next")
+	}
+	if spec.canvasPane {
+		targets = append(targets, "zoom-in")
+	}
+	var acts []content.Action
+	for i, n := 0, r.between(1, 4); i < n; i++ {
+		think := 200 * r.between(1, 6)
+		switch k := r.intn(4); {
+		case k == 0 && spec.searchBox:
+			acts = append(acts, content.Action{Kind: content.TypeText, Text: "abc"[:r.between(1, 3)], ThinkMs: think})
+		case k == 1:
+			acts = append(acts, content.Action{Kind: content.Scroll, DeltaY: 60 * r.between(-4, 8), ThinkMs: think})
+		case k == 2:
+			acts = append(acts, content.Action{Kind: content.Wait, ThinkMs: think})
+		default:
+			acts = append(acts, content.Action{Kind: content.Click, TargetID: targets[r.intn(len(targets))], ThinkMs: think})
+		}
+	}
+	return acts
+}

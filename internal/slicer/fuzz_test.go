@@ -1,0 +1,104 @@
+package slicer
+
+// FuzzSliceNeverPanics feeds arbitrary decoded traces through the full
+// backward pass (solo and fused, with and without control dependences).
+// The slicer must return a result or be rejected upstream — never panic.
+// Inputs that would merely allocate absurdly (register indices in the
+// millions, gigabyte memory ranges) are skipped: those are resource limits
+// for the service layer, not slicer correctness.
+
+import (
+	"bytes"
+	"testing"
+
+	"webslice/internal/cdg"
+	"webslice/internal/cfg"
+	"webslice/internal/trace"
+)
+
+const (
+	fuzzMaxReg     = 1 << 22
+	fuzzMaxRecs    = 1 << 16
+	fuzzMaxMemSize = 1 << 20
+)
+
+// sliceable rejects traces whose operands would drive huge allocations.
+func sliceable(t *trace.Trace) bool {
+	if len(t.Recs) > fuzzMaxRecs {
+		return false
+	}
+	for i := range t.Recs {
+		r := &t.Recs[i]
+		if uint32(r.Dst) > fuzzMaxReg || uint32(r.Src1) > fuzzMaxReg || uint32(r.Src2) > fuzzMaxReg {
+			return false
+		}
+	}
+	for _, e := range t.Sys {
+		for _, rg := range e.Reads {
+			if rg.Size > fuzzMaxMemSize {
+				return false
+			}
+		}
+		for _, rg := range e.Writes {
+			if rg.Size > fuzzMaxMemSize {
+				return false
+			}
+		}
+	}
+	for _, m := range t.Marks {
+		if m.Buf.Size > fuzzMaxMemSize {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzSliceNeverPanics(f *testing.F) {
+	// Seed with a real workload covering every record kind, a truncation of
+	// it, and bytes that are not a trace at all.
+	m := multiWorkload()
+	var buf bytes.Buffer
+	if err := m.Tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	enc := buf.Bytes()
+	f.Add(enc, byte(0))
+	f.Add(enc[:len(enc)*2/3], byte(1))
+	f.Add([]byte("WSLT not really"), byte(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
+		tr, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt input is the decoder's concern
+		}
+		if !sliceable(tr) {
+			return
+		}
+		var deps *cdg.Deps
+		opts := Options{MainThread: sel >> 4}
+		if forest, err := cfg.Build(tr); err == nil {
+			deps = cdg.Compute(forest)
+		} else {
+			opts.NoControlDeps = true
+		}
+		var c Criteria
+		switch sel % 3 {
+		case 0:
+			c = PixelCriteria{}
+		case 1:
+			c = SyscallCriteria{}
+		default:
+			c = Union{PixelCriteria{}, SyscallCriteria{}}
+		}
+		if res, err := Slice(tr, deps, c, opts); err == nil && res.SliceCount > res.Total {
+			t.Fatalf("slice of %d records from a trace of %d", res.SliceCount, res.Total)
+		}
+		if rs, err := SliceMulti(tr, deps, []Criteria{PixelCriteria{}, c}, opts); err == nil {
+			for _, r := range rs {
+				if r.SliceCount > r.Total {
+					t.Fatalf("fused slice of %d records from a trace of %d", r.SliceCount, r.Total)
+				}
+			}
+		}
+	})
+}

@@ -339,7 +339,10 @@ func (s *Store) GetDeps(traceKey string) (*cdg.Deps, bool, error) {
 	}
 	d, err := DecodeDeps(b)
 	if err != nil {
-		return nil, false, err
+		// The envelope checksum passed but the payload doesn't decode: evict
+		// it (both layers) so the caller recomputes instead of failing again.
+		s.dropCorrupt(KindDeps, traceKey)
+		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return d, true, nil
 }
@@ -358,7 +361,8 @@ func (s *Store) GetSlice(traceKey, variant string) (*slicer.Result, bool, error)
 	}
 	r, err := DecodeResult(b)
 	if err != nil {
-		return nil, false, err
+		s.dropCorrupt(variant, traceKey)
+		return nil, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return r, true, nil
 }

@@ -239,6 +239,27 @@ func (s *Store) memInsert(n string, data []byte) {
 	s.mu.Unlock()
 }
 
+// dropCorrupt evicts an artifact whose payload failed decoding from both
+// layers, so the next Get is a clean miss instead of re-serving poison. The
+// memory eviction decrements the LRU byte gauge — leaving memBytes inflated
+// here would permanently shrink the effective budget with every corrupt blob.
+func (s *Store) dropCorrupt(kind, key string) {
+	n := name(kind, key)
+	s.mu.Lock()
+	if el, ok := s.mem[n]; ok {
+		e := el.Value.(*memEntry)
+		s.lru.Remove(el)
+		delete(s.mem, n)
+		s.memBytes -= int64(len(e.data))
+		s.evicted.Add(1)
+	}
+	s.mu.Unlock()
+	s.corrupt.Add(1)
+	if s.dir != "" {
+		os.Remove(s.path(n))
+	}
+}
+
 // seal wraps payload in the blob envelope: header, payload, CRC trailer.
 func seal(payload []byte) []byte {
 	out := make([]byte, 0, headerSize+len(payload)+trailerSize)

@@ -93,6 +93,51 @@ func TestCorruptionDetected(t *testing.T) {
 	}
 }
 
+func TestCorruptPayloadEvictionDecrementsMemBytes(t *testing.T) {
+	// A blob whose envelope checksum passes but whose payload doesn't decode
+	// (e.g. written by a buggy encoder) must be evicted from the LRU layer
+	// with its bytes subtracted from the gauge — not left poisoning the cache
+	// while permanently consuming budget.
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	junk := bytes.Repeat([]byte{0xFF}, 512) // valid envelope, undecodable payload
+	if err := s.Put(KindDeps, "poisoned", junk); err != nil {
+		t.Fatal(err)
+	}
+	if s.MemBytes() != int64(len(junk)) {
+		t.Fatalf("MemBytes = %d after put, want %d", s.MemBytes(), len(junk))
+	}
+	_, ok, err := s.GetDeps("poisoned")
+	if ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("GetDeps of junk = ok=%v err=%v, want ErrCorrupt", ok, err)
+	}
+	if s.MemBytes() != 0 {
+		t.Fatalf("MemBytes = %d after corrupt eviction, want 0", s.MemBytes())
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want 1 corrupt / 1 evicted", st)
+	}
+	// Both layers dropped it: the next typed get is a clean miss.
+	if _, ok, err := s.GetDeps("poisoned"); ok || err != nil {
+		t.Fatalf("GetDeps after eviction = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cdg-poisoned.wsab")); !os.IsNotExist(err) {
+		t.Fatalf("disk blob still present after corrupt eviction (stat err = %v)", err)
+	}
+
+	// Same accounting for slice artifacts.
+	if err := s.Put(SliceVariant("pixels", slicer.Options{}), "poisoned", junk); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.GetSlice("poisoned", SliceVariant("pixels", slicer.Options{})); ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("GetSlice of junk = ok=%v err=%v, want ErrCorrupt", ok, err)
+	}
+	if s.MemBytes() != 0 {
+		t.Fatalf("MemBytes = %d after slice eviction, want 0", s.MemBytes())
+	}
+}
+
 func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir, 0)

@@ -122,6 +122,26 @@ func (t *Trace) Write(w io.Writer) error {
 	return err
 }
 
+// HasMagic reports whether b begins with the WSLT trace magic and a version
+// byte — a cheap sniff for callers that want to reject non-trace bytes
+// before paying for a full decode (e.g. at service submission time).
+func HasMagic(b []byte) bool {
+	return len(b) > len(magic) && [4]byte(b[:4]) == magic
+}
+
+// DecodeError is a decode failure with the byte offset and section where the
+// input stopped making sense. Tools like cmd/tracedump surface the offset so
+// a corrupt file can be inspected at the exact spot (`xxd -s <offset>`).
+type DecodeError struct {
+	Section string // which part of the file was being decoded
+	Offset  int    // byte offset into the (checksum-stripped) payload
+	Msg     string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: %s: %s (offset %d)", e.Section, e.Msg, e.Offset)
+}
+
 // decoder reads varint fields out of an in-memory payload with explicit
 // bounds checks; every failure names the section being decoded.
 type decoder struct {
@@ -131,7 +151,7 @@ type decoder struct {
 }
 
 func (d *decoder) errf(format string, args ...any) error {
-	return fmt.Errorf("trace: %s: %s (offset %d)", d.section, fmt.Sprintf(format, args...), d.pos)
+	return &DecodeError{Section: d.section, Offset: d.pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (d *decoder) remaining() int { return len(d.buf) - d.pos }
@@ -404,10 +424,9 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nc == 0 {
-		return t, nil
+	if nc > 0 {
+		t.Clock = make([]ClockPoint, nc)
 	}
-	t.Clock = make([]ClockPoint, nc)
 	for i := range t.Clock {
 		idx, err := d.uvarint()
 		if err != nil {
@@ -421,6 +440,12 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 		t.Clock[i] = ClockPoint{Index: int(idx), Cycle: cyc}
+	}
+	// Everything decoded; any bytes left over are not part of the format
+	// (an overwritten tail would otherwise vanish silently).
+	if d.remaining() != 0 {
+		d.section = "end of payload"
+		return nil, d.errf("%d trailing bytes after the last section", d.remaining())
 	}
 	return t, nil
 }

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -164,6 +166,52 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Read(bytes.NewReader(nil)); err == nil {
 		t.Error("expected EOF error")
+	}
+}
+
+func TestDecodeErrorCarriesSectionAndOffset(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-payload (before the trailer) and strip the version down to
+	// 1 so the missing checksum isn't what trips first.
+	enc := buf.Bytes()
+	v1 := append([]byte(nil), enc[:len(enc)/2]...)
+	v1[4] = 1
+	_, err := Read(bytes.NewReader(v1))
+	if err == nil {
+		t.Fatal("truncated v1 trace decoded")
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T, want *DecodeError: %v", err, err)
+	}
+	if de.Section == "" || de.Offset <= 0 || de.Offset > len(v1) {
+		t.Errorf("decode error names section %q offset %d (payload %d bytes)", de.Section, de.Offset, len(v1))
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Append junk as version 1 (no checksum to catch it): the decoder itself
+	// must notice the leftover bytes rather than silently ignoring them.
+	enc := buf.Bytes()
+	v1 := append([]byte(nil), enc[:len(enc)-trailerSize]...)
+	v1[4] = 1
+	v1 = append(v1, 0xde, 0xad, 0xbe, 0xef)
+	_, err := Read(bytes.NewReader(v1))
+	if err == nil {
+		t.Fatal("trace with trailing garbage decoded")
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) || !strings.Contains(de.Msg, "trailing") {
+		t.Errorf("unexpected error for trailing bytes: %v", err)
 	}
 }
 

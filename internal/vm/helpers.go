@@ -15,6 +15,13 @@ import (
 // instruction.
 func (m *Machine) StaticData(a vmem.Addr, b []byte) {
 	m.Mem.WriteBytes(a, b)
+	if m.tape != nil {
+		m.tape.Statics = append(m.tape.Statics, StaticWrite{
+			Pos:  len(m.Tr.Recs),
+			Addr: a,
+			Data: append([]byte(nil), b...),
+		})
+	}
 }
 
 // Copy emits a traced memory copy of n bytes (vector loads and stores in

@@ -58,6 +58,7 @@ type Machine struct {
 
 	cycle  uint64
 	markID uint32
+	tape   *Tape
 
 	// Strict enables cross-thread register-use panics. Registers model CPU
 	// context, which is per thread; inter-thread dataflow must use memory.
@@ -399,6 +400,15 @@ func (m *Machine) Syscall(num isa.Sys, a1, a2 isa.Reg, reads, writes []vmem.Rang
 	if a2 != isa.RegNone {
 		m.use(a2)
 	}
+	// Replay ground truth: snapshot the read operands before the fill lands
+	// (the bytes the kernel consumed at call time).
+	var sysReads [][]byte
+	if m.tape != nil && len(reads) > 0 {
+		sysReads = make([][]byte, len(reads))
+		for k, rd := range reads {
+			sysReads[k] = m.Mem.ReadBytes(rd.Addr, int(rd.Size))
+		}
+	}
 	var ret uint64
 	if len(writes) > 0 && fill != nil {
 		rem := fill
@@ -412,6 +422,14 @@ func (m *Machine) Syscall(num isa.Sys, a1, a2 isa.Reg, reads, writes []vmem.Rang
 	d := m.newReg(ret)
 	i := m.emit(trace.Rec{Kind: isa.KindSyscall, Dst: d, Src1: a1, Src2: a2, Aux: uint32(num)})
 	m.Tr.Sys[i] = &trace.SysEffect{Num: num, Reads: reads, Writes: writes}
+	if m.tape != nil {
+		if sysReads != nil {
+			m.tape.SysReads[i] = sysReads
+		}
+		if fill != nil {
+			m.tape.Fills[i] = append([]byte(nil), fill...)
+		}
+	}
 	return d
 }
 
@@ -432,6 +450,9 @@ func (m *Machine) mark(kind isa.MarkKind, buf vmem.Range) {
 	m.markID++
 	i := m.emit(trace.Rec{Kind: isa.KindMarker, Aux: m.markID})
 	m.Tr.Marks[i] = &trace.Mark{ID: m.markID, Kind: kind, Buf: buf}
+	if m.tape != nil {
+		m.tape.MarkBytes[i] = m.Mem.ReadBytes(buf.Addr, int(buf.Size))
+	}
 }
 
 func min(a, b int) int {

@@ -36,6 +36,14 @@ check_cover ./internal/slicer 85
 check_cover ./internal/cdg 85
 check_cover ./internal/replay 82
 
+# Robustness gate: vet + race over the durability-critical service package
+# (journal, retry, quarantine) is already covered by the full -race run
+# above; on top of that, a short deterministic chaos smoke — seeded
+# kill/restart/IO-fault/panic schedules must lose no acknowledged job —
+# and a fuzz smoke of the journal's replay path.
+go test -race -count=1 -run 'TestChaos' ./internal/service/chaostest
+go test -run '^$' -fuzz FuzzJournalReplayNeverPanics -fuzztime 5s ./internal/service
+
 # Fuzz smoke: a few seconds per target so a crashing input or a slice that
 # fails to replay is caught in CI, not only by long offline fuzzing runs.
 go test -run '^$' -fuzz FuzzSliceNeverPanics -fuzztime 5s ./internal/slicer

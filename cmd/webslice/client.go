@@ -123,6 +123,28 @@ func clientResult(addr, id string) error {
 	return nil
 }
 
+// clientQuarantined lists the daemon's poisoned-job list: jobs pulled from
+// rotation after panicking twice instead of crash-looping the service.
+func clientQuarantined(addr string) error {
+	resp, err := http.Get(addr + "/jobs/quarantined")
+	if err != nil {
+		return err
+	}
+	var jobs []service.Info
+	if err := decodeJSON(resp, http.StatusOK, &jobs); err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no quarantined jobs")
+		return nil
+	}
+	for _, info := range jobs {
+		fmt.Printf("%s  quarantined site=%s criteria=%s attempts=%d error=%q\n",
+			info.ID, orDash(info.Site), info.Criteria, info.Attempts, info.Error)
+	}
+	return nil
+}
+
 func fetchStatus(addr, id string) (service.Info, error) {
 	resp, err := http.Get(addr + "/jobs/" + id)
 	if err != nil {

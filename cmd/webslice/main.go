@@ -93,6 +93,8 @@ func main() {
 		err = clientStatus(*addr, *id)
 	case "result":
 		err = clientResult(*addr, *id)
+	case "quarantined":
+		err = clientQuarantined(*addr)
 	default:
 		stopProfiles()
 		usage()
@@ -160,6 +162,7 @@ commands:
              -wait to block for the result, -verify for server-side oracles)
   status     print a websliced job's status (-id)
   result     print a finished websliced job's result (-id)
+  quarantined  list websliced's poisoned jobs (quarantined after panicking)
 
 flags: -scale 1.0 (workload size, must be > 0), -exp all, -site amazon-desktop,
        -j 0 (concurrent experiment sessions, 0 = GOMAXPROCS), -o/-i trace path,

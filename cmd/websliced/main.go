@@ -2,7 +2,10 @@
 // a named benchmark site or a binary trace, a bounded queue feeds a pool
 // of parallel workers, and a content-addressed artifact store makes a
 // repeat slice of an identical trace a cache hit that skips the forward
-// pass entirely. See `webslice submit|status|result` for the client side.
+// pass entirely. With -journal, every acknowledged submission is written
+// to a write-ahead log before the ID is returned, so a crash (or a drain
+// that runs out of time) loses no accepted work — the next boot replays
+// and finishes it. See `webslice submit|status|result` for the client side.
 package main
 
 import (
@@ -29,20 +32,45 @@ func main() {
 	workers := flag.Int("workers", 4, "parallel slicing workers")
 	queue := flag.Int("queue", 64, "bounded job-queue depth (full queue returns 429)")
 	verify := flag.Bool("verify", false, "run the structural slice oracles on every job's result")
+	journal := flag.String("journal", "", "write-ahead job journal path (empty = no crash durability)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+	maxTraceMB := flag.Int64("max-trace-mb", 0, "reject submitted traces larger than this many MiB (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; unfinished jobs stay in the journal")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *memMB<<20, *workers, *queue, *verify); err != nil {
+	cfg := service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Verify:        *verify,
+		JobTimeout:    *jobTimeout,
+		MaxTraceBytes: *maxTraceMB << 20,
+	}
+	if err := run(*addr, *dir, *memMB<<20, *journal, *drainTimeout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "websliced:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, memBytes int64, workers, queue int, verify bool) error {
+func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time.Duration, cfg service.Config) error {
 	st, err := store.Open(dir, memBytes)
 	if err != nil {
 		return err
 	}
-	mgr := service.New(service.Config{Workers: workers, QueueDepth: queue, Store: st, Verify: verify})
+	cfg.Store = st
+	if journalPath != "" {
+		j, pending, err := service.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		if n := j.Salvaged(); n > 0 {
+			log.Printf("websliced: journal had a corrupt/torn tail, salvaged around %d bytes", n)
+		}
+		if len(pending) > 0 {
+			log.Printf("websliced: replaying %d unfinished job(s) from %s", len(pending), journalPath)
+		}
+		cfg.Journal, cfg.Resume = j, pending
+	}
+	mgr := service.New(cfg)
 
 	// The service API at /, plus net/http/pprof under /debug/pprof/ so a
 	// live daemon can be profiled (CPU, heap, goroutines) without a restart.
@@ -60,7 +88,8 @@ func run(addr, dir string, memBytes int64, workers, queue int, verify bool) erro
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("websliced: listening on %s (workers=%d queue=%d store=%q)", addr, workers, queue, dir)
+		log.Printf("websliced: listening on %s (workers=%d queue=%d store=%q journal=%q)",
+			addr, cfg.Workers, cfg.QueueDepth, dir, journalPath)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -70,15 +99,20 @@ func run(addr, dir string, memBytes int64, workers, queue int, verify bool) erro
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting connections, then drain every
-	// accepted job before exiting.
-	log.Printf("websliced: shutting down, draining jobs...")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Graceful shutdown: stop accepting connections, then drain accepted
+	// jobs within the budget. Jobs the drain cannot finish in time are not
+	// abandoned — they stay pending in the journal and the next boot
+	// re-runs them (without a journal they are lost, as before).
+	log.Printf("websliced: shutting down, draining jobs (budget %v)...", drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("websliced: http shutdown: %v", err)
 	}
-	mgr.Close()
-	log.Printf("websliced: drained, bye")
+	if mgr.Drain(drainTimeout) {
+		log.Printf("websliced: drained, bye")
+	} else {
+		log.Printf("websliced: drain budget expired; unfinished jobs remain in the journal")
+	}
 	return nil
 }

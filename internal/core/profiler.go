@@ -75,9 +75,14 @@ func (p *Profiler) Key() string { return p.key }
 // postdominator trees, and the control dependence graph. With a store
 // attached, a cached dependence graph is loaded instead (the CFG forest is
 // then not materialized — Forest stays nil) and a computed one is saved.
+// Opts.Canceled is honored at the pass's phase boundaries (the backward
+// pass additionally polls it mid-walk; see slicer.Options.Canceled).
 func (p *Profiler) Forward() error {
 	if p.deps != nil {
 		return nil
+	}
+	if p.canceled() {
+		return slicer.ErrCanceled
 	}
 	if p.store != nil {
 		// A decode/corruption error is a cache miss, not a failure.
@@ -90,6 +95,9 @@ func (p *Profiler) Forward() error {
 	if err != nil {
 		return fmt.Errorf("core: forward pass: %w", err)
 	}
+	if p.canceled() {
+		return slicer.ErrCanceled
+	}
 	p.forest = f
 	p.deps = cdg.Compute(f)
 	if p.store != nil {
@@ -98,6 +106,11 @@ func (p *Profiler) Forward() error {
 		}
 	}
 	return nil
+}
+
+// canceled polls the default options' cancellation hook.
+func (p *Profiler) canceled() bool {
+	return p.Opts.Canceled != nil && p.Opts.Canceled()
 }
 
 // Forest returns the CFGs built by the forward pass (nil before Forward).

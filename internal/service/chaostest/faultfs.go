@@ -1,0 +1,79 @@
+// Package chaostest is the crash/fault harness for the websliced service:
+// a seeded fault-injecting filesystem wrapped around the artifact store,
+// driven by randomized kill/restart/IO-error/panic schedules in the chaos
+// test. Everything is deterministic given the seed — the same schedule of
+// injected faults replays on every run.
+package chaostest
+
+import (
+	"fmt"
+	"sync"
+
+	"webslice/internal/store"
+)
+
+// FaultFS implements store.FS over the real filesystem, failing a seeded
+// pseudo-random fraction of I/O operations with a synthetic error. The
+// fault stream is splitmix64 over the seed, so a given (seed, rate) pair
+// always fails the same ops in the same order.
+type FaultFS struct {
+	store.OSFS
+
+	mu       sync.Mutex
+	state    uint64
+	permille int // probability of failing an op, in 1/1000ths
+
+	injected int // ops failed so far
+}
+
+// NewFaultFS returns a fault-injecting FS failing roughly permille/1000 of
+// read/write/rename operations.
+func NewFaultFS(seed uint64, permille int) *FaultFS {
+	return &FaultFS{state: seed, permille: permille}
+}
+
+var errInjected = fmt.Errorf("chaostest: injected I/O fault")
+
+// roll advances the splitmix64 stream and decides whether this op fails.
+func (f *FaultFS) roll() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.state += 0x9E3779B97F4A7C15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if int(z%1000) < f.permille {
+		f.injected++
+		return true
+	}
+	return false
+}
+
+// Injected reports how many operations the wrapper has failed so far.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.roll() {
+		return nil, fmt.Errorf("read %s: %w", name, errInjected)
+	}
+	return f.OSFS.ReadFile(name)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (store.File, error) {
+	if f.roll() {
+		return nil, fmt.Errorf("createtemp in %s: %w", dir, errInjected)
+	}
+	return f.OSFS.CreateTemp(dir, pattern)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.roll() {
+		return fmt.Errorf("rename %s: %w", newpath, errInjected)
+	}
+	return f.OSFS.Rename(oldpath, newpath)
+}

@@ -1,0 +1,25 @@
+package service
+
+import "time"
+
+// Clock abstracts time for the manager so retry/backoff schedules are
+// testable without real sleeps (see the fake clock in the service tests).
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until stop closes, whichever comes first.
+	Sleep(d time.Duration, stop <-chan struct{})
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(d time.Duration, stop <-chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-stop:
+	}
+}

@@ -18,6 +18,7 @@ const maxTraceBody = 256 << 20
 //	POST   /jobs/trace      submit a binary trace
 //	                        (?criteria, ?verify=1)            -> 202 {id}
 //	GET    /jobs            list jobs                         -> 200 [Info]
+//	GET    /jobs/quarantined poisoned jobs (2x panicked)      -> 200 [Info]
 //	GET    /jobs/{id}        job status                       -> 200 Info
 //	GET    /jobs/{id}/result finished job result              -> 200 Result
 //	DELETE /jobs/{id}        cancel                           -> 200
@@ -58,6 +59,12 @@ func NewHandler(m *Manager) http.Handler {
 		jobs := m.Jobs()
 		sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
 		writeJSON(w, http.StatusOK, jobs)
+	})
+
+	mux.HandleFunc("GET /jobs/quarantined", func(w http.ResponseWriter, r *http.Request) {
+		// The poisoned-job list: jobs pulled from rotation after panicking
+		// twice. The literal route wins over GET /jobs/{id} by specificity.
+		writeJSON(w, http.StatusOK, m.Quarantined())
 	})
 
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -119,6 +126,8 @@ func submit(m *Manager, w http.ResponseWriter, spec Spec) {
 		httpError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrTraceTooLarge):
+		httpError(w, http.StatusRequestEntityTooLarge, err)
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
 	default:

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -15,7 +16,7 @@ import (
 func testServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
 	t.Helper()
 	if cfg.Runner == nil {
-		cfg.Runner = func(spec Spec, canceled func() bool) (*Result, error) {
+		cfg.Runner = func(ctx context.Context, spec Spec) (*Result, error) {
 			return &Result{Criteria: spec.Criteria, Total: 100, SliceCount: 42, SlicePct: 42}, nil
 		}
 	}
@@ -106,7 +107,7 @@ func TestHTTPBackpressureAndErrors(t *testing.T) {
 	srv, m := testServer(t, Config{
 		Workers:    1,
 		QueueDepth: 1,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			<-block
 			return &Result{}, nil
 		},
@@ -174,7 +175,7 @@ func TestHTTPCancel(t *testing.T) {
 	srv, m := testServer(t, Config{
 		Workers:    1,
 		QueueDepth: 4,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			<-block
 			return &Result{}, nil
 		},
@@ -215,7 +216,7 @@ func TestHTTPRejectsBadSubmissions(t *testing.T) {
 	ran := make(chan struct{}, 16)
 	srv, _ := testServer(t, Config{
 		Workers: 1,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			ran <- struct{}{}
 			return &Result{}, nil
 		},
@@ -267,7 +268,7 @@ func TestHTTPHealthzDuringDrain(t *testing.T) {
 	m := New(Config{
 		Workers:    1,
 		QueueDepth: 4,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			<-block
 			return &Result{}, nil
 		},
@@ -369,5 +370,70 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	}
 	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("metrics content type = %q", ct)
+	}
+}
+
+// TestHTTPQuarantineAndAdmission covers the robustness surface: the
+// poisoned-job list endpoint and the 413 trace admission limit.
+func TestHTTPQuarantineAndAdmission(t *testing.T) {
+	srv, m := testServer(t, Config{
+		Workers:       1,
+		MaxTraceBytes: 16,
+		Retry:         RetryPolicy{MaxAttempts: 5, BackoffBase: time.Nanosecond, BackoffMax: time.Nanosecond},
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			if spec.Site == "bing" {
+				panic("poisoned")
+			}
+			return &Result{}, nil
+		},
+	})
+
+	// Empty quarantine list serves as JSON, not a 404 into GET /jobs/{id}.
+	r, err := http.Get(srv.URL + "/jobs/quarantined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty []Info
+	readJSON(t, r, &empty)
+	if r.StatusCode != http.StatusOK || len(empty) != 0 {
+		t.Fatalf("empty quarantine = %d %v, want 200 []", r.StatusCode, empty)
+	}
+
+	resp := postJSON(t, srv.URL+"/jobs", Spec{Site: "bing"})
+	var sub struct {
+		ID string `json:"id"`
+	}
+	readJSON(t, resp, &sub)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info, _ := m.Info(sub.ID)
+		if info.Status.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for quarantine")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r, err = http.Get(srv.URL + "/jobs/quarantined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quarantined []Info
+	readJSON(t, r, &quarantined)
+	if len(quarantined) != 1 || quarantined[0].ID != sub.ID || quarantined[0].Status != StatusQuarantined {
+		t.Fatalf("quarantine list = %+v, want the panicked job", quarantined)
+	}
+
+	// A trace over the admission limit maps to 413, not 400.
+	big := append([]byte("WSLT"), bytes.Repeat([]byte{0}, 64)...)
+	resp, err = http.Post(srv.URL+"/jobs/trace", "application/octet-stream", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized trace = %d, want 413", resp.StatusCode)
 	}
 }

@@ -1,0 +1,430 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock: Sleep blocks on a waiter that
+// Advance releases, so backoff schedules are asserted without real sleeps.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	sleeps  []time.Duration
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration, stop <-chan struct{}) {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	if d <= 0 {
+		c.mu.Unlock()
+		return
+	}
+	w := fakeWaiter{deadline: c.now.Add(d), ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+	select {
+	case <-w.ch:
+	case <-stop:
+	}
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	keep := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.deadline.After(c.now) {
+			keep = append(keep, w)
+		} else {
+			close(w.ch)
+		}
+	}
+	c.waiters = keep
+}
+
+func (c *fakeClock) sleepers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+func (c *fakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// TestRetryBackoffScheduleFakeClock pins the retry schedule — capped
+// exponential backoff, exact delays — without a single real sleep.
+func TestRetryBackoffScheduleFakeClock(t *testing.T) {
+	clk := newFakeClock()
+	var attempts atomic.Int64
+	m := New(Config{
+		Workers: 1,
+		Clock:   clk,
+		Retry:   RetryPolicy{MaxAttempts: 4, BackoffBase: 100 * time.Millisecond, BackoffMax: 250 * time.Millisecond},
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			if attempts.Add(1) < 4 {
+				return nil, errors.New("transient backend wobble")
+			}
+			return &Result{}, nil
+		},
+	})
+	id, err := m.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		waitFor(t, "worker to enter backoff sleep", func() bool { return clk.sleepers() == 1 })
+		clk.Advance(250 * time.Millisecond)
+	}
+	waitStatus(t, m, id, StatusDone)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 250 * time.Millisecond}
+	got := clk.Sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("backoff sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff sleep %d = %v, want %v (schedule %v)", i, got[i], want[i], got)
+		}
+	}
+	if n := m.Metrics().Counter("jobs_retried").Value(); n != 3 {
+		t.Fatalf("jobs_retried = %d, want 3", n)
+	}
+	if info, _ := m.Info(id); info.Attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", info.Attempts)
+	}
+	m.Close()
+}
+
+// TestRetriesExhaustedFailsJob: a persistently failing job burns its
+// attempts and lands on failed, not in an infinite retry loop.
+func TestRetriesExhaustedFailsJob(t *testing.T) {
+	clk := newFakeClock()
+	var attempts atomic.Int64
+	m := New(Config{
+		Workers: 1,
+		Clock:   clk,
+		Retry:   RetryPolicy{MaxAttempts: 3, BackoffBase: time.Second, BackoffMax: time.Second},
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			attempts.Add(1)
+			return nil, errors.New("hard failure")
+		},
+	})
+	id, err := m.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		waitFor(t, "backoff sleep", func() bool { return clk.sleepers() == 1 })
+		clk.Advance(time.Second)
+	}
+	waitFor(t, "job terminal", func() bool { info, _ := m.Info(id); return info.Status.Terminal() })
+	if info, _ := m.Info(id); info.Status != StatusFailed || !strings.Contains(info.Error, "hard failure") {
+		t.Fatalf("job = %s (%q), want failed", info.Status, info.Error)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("runner ran %d times, want 3", attempts.Load())
+	}
+	m.Close()
+}
+
+// TestPanicIsolationAndQuarantine: a panicking runner neither kills the
+// daemon nor crash-loops — the second panic quarantines the job, and the
+// pool keeps serving healthy work afterwards.
+func TestPanicIsolationAndQuarantine(t *testing.T) {
+	var calls atomic.Int64
+	m := New(Config{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: 10, BackoffBase: time.Nanosecond, BackoffMax: time.Nanosecond},
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			calls.Add(1)
+			if spec.Site == "bing" {
+				panic("poisoned job")
+			}
+			return &Result{}, nil
+		},
+	})
+	bad, err := m.Submit(Spec{Site: "bing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "quarantine", func() bool { info, _ := m.Info(bad); return info.Status.Terminal() })
+	info, _ := m.Info(bad)
+	if info.Status != StatusQuarantined {
+		t.Fatalf("panicking job = %s (%q), want quarantined", info.Status, info.Error)
+	}
+	if !strings.Contains(info.Error, "panicked") || !strings.Contains(info.Error, "poisoned job") {
+		t.Fatalf("quarantine error %q does not name the panic", info.Error)
+	}
+	q := m.Quarantined()
+	if len(q) != 1 || q[0].ID != bad {
+		t.Fatalf("Quarantined() = %+v, want [%s]", q, bad)
+	}
+	if n := m.Metrics().Counter("jobs_panicked").Value(); n != 2 {
+		t.Fatalf("jobs_panicked = %d, want 2 (one retry, then quarantine)", n)
+	}
+	if n := m.Metrics().Counter("jobs_quarantined").Value(); n != 1 {
+		t.Fatalf("jobs_quarantined = %d, want 1", n)
+	}
+	// The worker survived both panics: a healthy job still completes.
+	good, err := m.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, good, StatusDone)
+	m.Close()
+	if len(m.Quarantined()) != 1 {
+		t.Fatal("quarantine list changed across drain")
+	}
+}
+
+// TestJobTimeoutFailsWithoutRetry: the per-job deadline converts a hung
+// runner into a failed job (not a retried one — rerunning a job that
+// burned its whole budget would double the damage).
+func TestJobTimeoutFailsWithoutRetry(t *testing.T) {
+	var calls atomic.Int64
+	m := New(Config{
+		Workers:    1,
+		JobTimeout: 20 * time.Millisecond,
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			calls.Add(1)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	id, err := m.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "timeout", func() bool { info, _ := m.Info(id); return info.Status.Terminal() })
+	info, _ := m.Info(id)
+	if info.Status != StatusFailed || !strings.Contains(info.Error, "deadline") {
+		t.Fatalf("timed-out job = %s (%q), want failed with deadline error", info.Status, info.Error)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("timed-out job ran %d times, want 1 (no retry)", calls.Load())
+	}
+	m.Close()
+}
+
+// TestTraceAdmissionLimit: oversized traces are rejected at submission
+// with the typed error, before consuming a queue slot.
+func TestTraceAdmissionLimit(t *testing.T) {
+	m := New(Config{
+		Workers:       1,
+		MaxTraceBytes: 8,
+		Runner:        func(context.Context, Spec) (*Result, error) { return &Result{}, nil },
+	})
+	defer m.Close()
+	_, err := m.Submit(Spec{Trace: []byte("WSLT plus way more bytes than eight")})
+	if !errors.Is(err, ErrTraceTooLarge) {
+		t.Fatalf("oversized submit = %v, want ErrTraceTooLarge", err)
+	}
+	if n := m.Metrics().Counter("jobs_submitted").Value(); n != 0 {
+		t.Fatalf("jobs_submitted = %d after rejected submit", n)
+	}
+}
+
+// TestJournalCrashRecovery is the durability contract end to end: kill -9
+// (simulated) after acknowledging jobs, reopen, and every acknowledged job
+// runs to completion under its original ID.
+func TestJournalCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	j, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending", len(pending))
+	}
+	started := make(chan struct{}, 8)
+	m := New(Config{
+		Workers: 1,
+		Journal: j,
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			started <- struct{}{}
+			<-ctx.Done() // hold the job until the crash
+			return nil, ErrCanceled
+		},
+	})
+	ids := make([]string, 3)
+	for i := range ids {
+		id, err := m.Submit(Spec{Site: "maps", Scale: 0.1 * float64(i+1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	<-started // first job is mid-run when the "power" goes
+	m.Kill()
+
+	j2, pending2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending2) != 3 {
+		t.Fatalf("replay found %d pending jobs, want 3 (acknowledged work lost)", len(pending2))
+	}
+	var ran atomic.Int64
+	m2 := New(Config{
+		Workers: 2,
+		Journal: j2,
+		Resume:  pending2,
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			ran.Add(1)
+			return &Result{}, nil
+		},
+	})
+	for _, id := range ids {
+		waitStatus(t, m2, id, StatusDone)
+	}
+	// New work after recovery must not collide with replayed IDs.
+	id4, err := m2.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if id4 == old {
+			t.Fatalf("post-recovery submission reused replayed id %s", id4)
+		}
+	}
+	waitStatus(t, m2, id4, StatusDone)
+	m2.Close()
+
+	j3, pending3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending3) != 0 {
+		t.Fatalf("clean shutdown left %d jobs pending in the journal", len(pending3))
+	}
+	j3.Close()
+}
+
+// TestDrainPersistsQueuedJobs is the graceful-shutdown regression: a drain
+// that times out must not abandon queued-but-unstarted jobs — they stay
+// pending in the journal and the next boot finishes them.
+func TestDrainPersistsQueuedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{}, 1)
+	m := New(Config{
+		Workers: 1,
+		Journal: j,
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			started <- struct{}{}
+			<-ctx.Done() // never finishes on its own
+			return nil, ErrCanceled
+		},
+	})
+	idA, err := m.Submit(Spec{Site: "maps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // A is running (and stuck)
+	idB, err := m.Submit(Spec{Site: "bing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := m.Drain(30 * time.Millisecond); done {
+		t.Fatal("Drain reported a clean finish with a stuck job")
+	}
+
+	j2, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, e := range pending {
+		got[e.ID] = true
+	}
+	if !got[idA] || !got[idB] || len(pending) != 2 {
+		t.Fatalf("journal after timed-out drain holds %v, want both %s and %s", pending, idA, idB)
+	}
+	m2 := New(Config{
+		Workers: 1,
+		Journal: j2,
+		Resume:  pending,
+		Runner:  func(context.Context, Spec) (*Result, error) { return &Result{}, nil },
+	})
+	waitStatus(t, m2, idA, StatusDone)
+	waitStatus(t, m2, idB, StatusDone)
+	m2.Close()
+}
+
+// TestDrainCompletesQueuedJobsInTime: when jobs can finish within the
+// deadline, Drain finishes them all and reports a clean shutdown.
+func TestDrainCompletesQueuedJobsInTime(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	m := New(Config{
+		Workers: 2,
+		Journal: j,
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
+			ran.Add(1)
+			return &Result{}, nil
+		},
+	})
+	for i := 0; i < 6; i++ {
+		if _, err := m.Submit(Spec{Site: "maps"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if done := m.Drain(30 * time.Second); !done {
+		t.Fatal("Drain timed out with fast jobs")
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("drain ran %d of 6 jobs", ran.Load())
+	}
+	j2, pending, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("clean drain left %d pending", len(pending))
+	}
+	j2.Close()
+}

@@ -4,14 +4,30 @@
 // publish per-job status. Backpressure is explicit — a full queue rejects
 // with ErrQueueFull instead of blocking the caller — and shutdown drains
 // every accepted job before Close returns.
+//
+// # Failure model
+//
+// With a Journal attached, every submission is made durable before it is
+// acknowledged and every terminal state is made durable before a client
+// can observe it, so a crash (kill -9, power loss) loses no acknowledged
+// job and never re-executes a job a client saw finish. Workers isolate
+// job failures: a panicking runner is converted to ErrJobPanicked instead
+// of taking the process down, transient errors are retried with capped
+// exponential backoff, and a job that panics twice is quarantined on a
+// poisoned-job list rather than crash-looping. Per-job wall-clock
+// deadlines and a trace-size admission limit bound resource use; the
+// artifact store degrades to compute-without-cache behind a circuit
+// breaker when its disk misbehaves (see internal/store).
 package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webslice/internal/analysis"
@@ -47,16 +63,17 @@ type Spec struct {
 type Status string
 
 const (
-	StatusQueued   Status = "queued"
-	StatusRunning  Status = "running"
-	StatusDone     Status = "done"
-	StatusFailed   Status = "failed"
-	StatusCanceled Status = "canceled"
+	StatusQueued      Status = "queued"
+	StatusRunning     Status = "running"
+	StatusDone        Status = "done"
+	StatusFailed      Status = "failed"
+	StatusCanceled    Status = "canceled"
+	StatusQuarantined Status = "quarantined"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled || s == StatusQuarantined
 }
 
 // ThreadStat is the per-thread slice breakdown of a finished job.
@@ -88,6 +105,7 @@ type Info struct {
 	Criteria string  `json:"criteria"`
 	Error    string  `json:"error,omitempty"`
 	CacheHit bool    `json:"cache_hit"`
+	Attempts int     `json:"attempts,omitempty"`
 	QueueMs  float64 `json:"queue_ms"`
 	RunMs    float64 `json:"run_ms"`
 }
@@ -101,12 +119,64 @@ var (
 	ErrClosed = errors.New("service: shutting down")
 	// ErrCanceled is the terminal error of a canceled job.
 	ErrCanceled = errors.New("service: job canceled")
+	// ErrJobPanicked is the terminal error of a job whose runner panicked;
+	// the panic is confined to the job instead of crashing the daemon.
+	ErrJobPanicked = errors.New("service: job panicked")
+	// ErrJobTimeout is the terminal error of a job that exceeded the
+	// per-job wall-clock deadline (Config.JobTimeout). Not retried.
+	ErrJobTimeout = errors.New("service: job deadline exceeded")
+	// ErrTraceTooLarge rejects a submitted trace over the admission limit
+	// (Config.MaxTraceBytes) before it consumes a queue slot (HTTP 413).
+	ErrTraceTooLarge = errors.New("service: trace exceeds admission limit")
 )
 
-// Runner executes one job. canceled can be polled between phases to honor
-// cancellation. The default runner renders/decodes and slices; tests and
-// alternative backends may substitute their own.
-type Runner func(spec Spec, canceled func() bool) (*Result, error)
+// quarantineAfter is how many panics a single job survives before it is
+// quarantined instead of retried.
+const quarantineAfter = 2
+
+// Runner executes one job. The context carries the per-job deadline and is
+// canceled on job cancellation and manager shutdown; runners should poll
+// ctx.Err() between phases. The default runner renders/decodes and slices;
+// tests and alternative backends may substitute their own.
+type Runner func(ctx context.Context, spec Spec) (*Result, error)
+
+// RetryPolicy shapes worker-level retries of failed (non-panicking,
+// non-timeout) jobs.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per job (default 3).
+	// 1 disables retries.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it (default 100ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the doubled delay (default 2s).
+	BackoffMax time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = 100 * time.Millisecond
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = 2 * time.Second
+	}
+	return r
+}
+
+// backoff returns the capped exponential delay before retry number n (1-based).
+func (r RetryPolicy) backoff(n int) time.Duration {
+	d := r.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= r.BackoffMax {
+			return r.BackoffMax
+		}
+	}
+	return min(d, r.BackoffMax)
+}
 
 // Config sizes the manager.
 type Config struct {
@@ -126,6 +196,23 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Runner overrides the job execution pipeline (tests, other backends).
 	Runner Runner
+
+	// Journal, when set, is the write-ahead log making submissions durable.
+	// Pass the entries OpenJournal replayed via Resume to re-enqueue the
+	// previous process's unfinished work.
+	Journal *Journal
+	// Resume is the journal's replayed still-pending work, re-enqueued
+	// ahead of new submissions.
+	Resume []JournalEntry
+	// Retry shapes retries of failed jobs (see RetryPolicy defaults).
+	Retry RetryPolicy
+	// JobTimeout is the per-job wall-clock deadline; 0 disables it.
+	JobTimeout time.Duration
+	// MaxTraceBytes rejects submitted traces larger than this with
+	// ErrTraceTooLarge; 0 disables the admission limit.
+	MaxTraceBytes int64
+	// Clock abstracts time for tests; nil uses the real clock.
+	Clock Clock
 }
 
 type job struct {
@@ -140,7 +227,13 @@ type job struct {
 	started  time.Time
 	finished time.Time
 
-	cancel bool
+	cancel  bool
+	stopRun context.CancelFunc // cancels the in-flight attempt's context
+
+	// attempts is guarded by mu (Info reads it); panics is touched only by
+	// the owning worker.
+	attempts int
+	panics   int
 }
 
 func (j *job) canceled() bool {
@@ -153,20 +246,34 @@ func (j *job) canceled() bool {
 type Manager struct {
 	cfg   Config
 	reg   *metrics.Registry
+	clock Clock
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int
-	closed bool
+	// baseCtx parents every job context; baseCancel fires on Kill and on a
+	// drain timeout so in-flight runners stop at their next poll.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// killed means shutdown is abandoning work: workers drop jobs without
+	// journaling terminals, so the journal keeps them pending for the next
+	// boot (simulated crash, or drain deadline expiry).
+	killed atomic.Bool
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	nextID     int
+	closed     bool
+	quarantine []string // ids of quarantined jobs, oldest first
 
 	mSubmitted, mDone, mFailed, mRejected, mCanceled *metrics.Counter
+	mRetried, mPanicked, mQuarantined                *metrics.Counter
 	gRunning, gPeak, gQueueDepth                     *metrics.Gauge
 	hQueueWait, hRun                                 *metrics.Histogram
 }
 
-// New starts a manager and its workers.
+// New starts a manager and its workers. Journal entries passed via
+// cfg.Resume are re-enqueued (ahead of new submissions) without being
+// re-journaled — they are already durable.
 func New(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -174,25 +281,39 @@ func New(cfg Config) *Manager {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:         cfg,
-		reg:         reg,
-		queue:       make(chan *job, cfg.QueueDepth),
-		jobs:        make(map[string]*job),
-		mSubmitted:  reg.Counter("jobs_submitted"),
-		mDone:       reg.Counter("jobs_done"),
-		mFailed:     reg.Counter("jobs_failed"),
-		mRejected:   reg.Counter("jobs_rejected"),
-		mCanceled:   reg.Counter("jobs_canceled"),
-		gRunning:    reg.Gauge("jobs_running"),
-		gPeak:       reg.Gauge("jobs_running_peak"),
-		gQueueDepth: reg.Gauge("queue_depth"),
-		hQueueWait:  reg.Histogram("queue_wait_ms", metrics.LatencyBuckets),
-		hRun:        reg.Histogram("slice_ms", metrics.LatencyBuckets),
+		cfg:   cfg,
+		reg:   reg,
+		clock: clock,
+		// The queue must absorb every resumed job on top of QueueDepth so
+		// a journal fuller than the configured depth still replays.
+		queue:        make(chan *job, cfg.QueueDepth+len(cfg.Resume)),
+		baseCtx:      ctx,
+		baseCancel:   cancel,
+		jobs:         make(map[string]*job),
+		mSubmitted:   reg.Counter("jobs_submitted"),
+		mDone:        reg.Counter("jobs_done"),
+		mFailed:      reg.Counter("jobs_failed"),
+		mRejected:    reg.Counter("jobs_rejected"),
+		mCanceled:    reg.Counter("jobs_canceled"),
+		mRetried:     reg.Counter("jobs_retried"),
+		mPanicked:    reg.Counter("jobs_panicked"),
+		mQuarantined: reg.Counter("jobs_quarantined"),
+		gRunning:     reg.Gauge("jobs_running"),
+		gPeak:        reg.Gauge("jobs_running_peak"),
+		gQueueDepth:  reg.Gauge("queue_depth"),
+		hQueueWait:   reg.Histogram("queue_wait_ms", metrics.LatencyBuckets),
+		hRun:         reg.Histogram("slice_ms", metrics.LatencyBuckets),
 	}
 	if cfg.Runner == nil {
 		m.cfg.Runner = m.run
@@ -206,12 +327,52 @@ func New(cfg Config) *Manager {
 		reg.Func("store_evicted", func() int64 { return cfg.Store.Stats().Evicted })
 		reg.Func("store_corrupt", func() int64 { return cfg.Store.Stats().Corrupt })
 		reg.Func("store_mem_bytes", cfg.Store.MemBytes)
+		reg.Func("store_disk_errors", func() int64 { return cfg.Store.Stats().DiskErrors })
+		reg.Func("store_breaker_state", func() int64 { return cfg.Store.Stats().BreakerState })
+		reg.Func("store_breaker_trips", func() int64 { return cfg.Store.Stats().BreakerTrips })
+		reg.Func("store_breaker_shed", func() int64 { return cfg.Store.Stats().BreakerShed })
 	}
+	if mx := maxJournalID(cfg); mx > m.nextID {
+		m.nextID = mx
+	}
+	m.resume(cfg.Resume)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+func maxJournalID(cfg Config) int {
+	if cfg.Journal == nil {
+		return 0
+	}
+	return cfg.Journal.MaxID()
+}
+
+// resume re-enqueues replayed journal entries. Entries that no longer
+// validate (a site removed, say) are journaled terminal instead of
+// poisoning the queue forever.
+func (m *Manager) resume(entries []JournalEntry) {
+	for _, e := range entries {
+		spec := e.Spec
+		j := &job{id: e.ID, spec: spec, enqueued: m.clock.Now()}
+		if err := m.validate(&j.spec); err != nil {
+			j.status = StatusFailed
+			j.err = err.Error()
+			j.finished = j.enqueued
+			if m.cfg.Journal != nil {
+				m.cfg.Journal.LogTerminal(j.id, StatusFailed)
+			}
+			m.jobs[j.id] = j
+			m.mFailed.Inc()
+			continue
+		}
+		j.status = StatusQueued
+		m.jobs[j.id] = j
+		m.queue <- j
+	}
+	m.gQueueDepth.Set(int64(len(m.queue)))
 }
 
 // Metrics returns the registry the manager publishes into.
@@ -223,10 +384,12 @@ func (m *Manager) Store() *store.Store { return m.cfg.Store }
 // Workers returns the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
-// Submit validates and enqueues a job, returning its ID. A full queue
-// fails fast with ErrQueueFull; after Close it fails with ErrClosed.
+// Submit validates, journals, and enqueues a job, returning its ID. The
+// journal append (with fsync) happens before the ID is returned: an
+// acknowledged submission survives any crash. A full queue fails fast
+// with ErrQueueFull; after Close it fails with ErrClosed.
 func (m *Manager) Submit(spec Spec) (string, error) {
-	if err := validate(&spec); err != nil {
+	if err := m.validate(&spec); err != nil {
 		return "", err
 	}
 	m.mu.Lock()
@@ -234,27 +397,38 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	if m.closed {
 		return "", ErrClosed
 	}
+	// Submit is the only sender once workers are running and it holds
+	// m.mu, so checking capacity up front (before paying for the journal
+	// fsync) is race-free and the send below can never block.
+	if len(m.queue) == cap(m.queue) {
+		m.mRejected.Inc()
+		return "", ErrQueueFull
+	}
 	m.nextID++
 	j := &job{
 		id:       fmt.Sprintf("j%06d", m.nextID),
 		spec:     spec,
 		status:   StatusQueued,
-		enqueued: time.Now(),
+		enqueued: m.clock.Now(),
 	}
-	select {
-	case m.queue <- j:
-	default:
-		m.nextID-- // rejected jobs don't consume IDs
-		m.mRejected.Inc()
-		return "", ErrQueueFull
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.LogSubmit(j.id, spec); err != nil {
+			// Not acknowledged, not enqueued. The ID stays burned: a torn
+			// frame may still replay, so reusing it could collide.
+			return "", err
+		}
 	}
+	m.queue <- j
 	m.jobs[j.id] = j
 	m.mSubmitted.Inc()
 	m.gQueueDepth.Set(int64(len(m.queue)))
 	return j.id, nil
 }
 
-func validate(spec *Spec) error {
+func (m *Manager) validate(spec *Spec) error {
+	if m.cfg.MaxTraceBytes > 0 && int64(len(spec.Trace)) > m.cfg.MaxTraceBytes {
+		return fmt.Errorf("%w: %d bytes (limit %d)", ErrTraceTooLarge, len(spec.Trace), m.cfg.MaxTraceBytes)
+	}
 	switch spec.Criteria {
 	case "":
 		spec.Criteria = "pixels"
@@ -298,6 +472,7 @@ func (m *Manager) Info(id string) (Info, bool) {
 		Site:     j.spec.Site,
 		Criteria: j.spec.Criteria,
 		Error:    j.err,
+		Attempts: j.attempts,
 	}
 	if j.result != nil {
 		info.CacheHit = j.result.CacheHit
@@ -306,7 +481,7 @@ func (m *Manager) Info(id string) (Info, bool) {
 		info.QueueMs = float64(j.started.Sub(j.enqueued)) / float64(time.Millisecond)
 		end := j.finished
 		if end.IsZero() {
-			end = time.Now()
+			end = m.clock.Now()
 		}
 		info.RunMs = float64(end.Sub(j.started)) / float64(time.Millisecond)
 	}
@@ -330,9 +505,9 @@ func (m *Manager) Result(id string) (*Result, bool) {
 	return j.result, true
 }
 
-// Cancel marks a job canceled. A queued job never runs; a running job is
-// stopped at its next phase boundary. Returns false for unknown or
-// already-terminal jobs.
+// Cancel marks a job canceled. A queued job never runs; a running job's
+// context is canceled so it stops at its next poll. Returns false for
+// unknown or already-terminal jobs.
 func (m *Manager) Cancel(id string) bool {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -346,6 +521,9 @@ func (m *Manager) Cancel(id string) bool {
 		return false
 	}
 	j.cancel = true
+	if j.stopRun != nil {
+		j.stopRun()
+	}
 	return true
 }
 
@@ -366,6 +544,21 @@ func (m *Manager) Jobs() []Info {
 	return out
 }
 
+// Quarantined lists the poisoned jobs — those that panicked
+// quarantineAfter times and were pulled from rotation — oldest first.
+func (m *Manager) Quarantined() []Info {
+	m.mu.Lock()
+	ids := append([]string(nil), m.quarantine...)
+	m.mu.Unlock()
+	out := make([]Info, 0, len(ids))
+	for _, id := range ids {
+		if info, ok := m.Info(id); ok {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
 // Draining reports whether shutdown has begun: submissions are rejected but
 // accepted jobs may still be running. Health endpoints use this to flip a
 // load balancer away from the instance before the drain completes.
@@ -376,32 +569,82 @@ func (m *Manager) Draining() bool {
 }
 
 // Close stops accepting jobs, drains everything already accepted (queued
-// jobs run to completion), and returns once every worker has exited.
+// jobs run to completion), and returns once every worker has exited. The
+// journal, if any, is compacted and closed.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		m.wg.Wait()
-		return
-	}
-	m.closed = true
-	close(m.queue)
-	m.mu.Unlock()
+	m.beginShutdown()
 	m.wg.Wait()
+	if m.cfg.Journal != nil {
+		m.cfg.Journal.Close()
+	}
+}
+
+// Drain is Close with a deadline: it stops accepting jobs and waits up to
+// timeout for accepted work to finish. On expiry the remaining jobs are
+// abandoned *into the journal* — workers stop without journaling
+// terminals, so the unfinished jobs stay pending and the next boot
+// re-runs them — and Drain returns false.
+func (m *Manager) Drain(timeout time.Duration) bool {
+	m.beginShutdown()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		if m.cfg.Journal != nil {
+			m.cfg.Journal.Close()
+		}
+		return true
+	case <-t.C:
+		m.killed.Store(true)
+		m.baseCancel()
+		m.wg.Wait()
+		if m.cfg.Journal != nil {
+			m.cfg.Journal.Close()
+		}
+		return false
+	}
+}
+
+// Kill is the chaos harness's simulated crash: the journal stops writing
+// (as a dead process would), in-flight work is canceled, and nothing is
+// drained gracefully. The manager is unusable afterward.
+func (m *Manager) Kill() {
+	if m.cfg.Journal != nil {
+		m.cfg.Journal.disable()
+	}
+	m.killed.Store(true)
+	m.beginShutdown()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) beginShutdown() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
 }
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for j := range m.queue {
 		m.gQueueDepth.Set(int64(len(m.queue)))
-		now := time.Now()
+		if m.killed.Load() {
+			m.drop(j)
+			continue
+		}
+		now := m.clock.Now()
 		j.mu.Lock()
 		if j.cancel {
-			j.status = StatusCanceled
-			j.err = ErrCanceled.Error()
-			j.finished = now
 			j.mu.Unlock()
-			m.mCanceled.Inc()
+			m.finish(j, StatusCanceled, nil, ErrCanceled)
 			continue
 		}
 		j.status = StatusRunning
@@ -409,45 +652,153 @@ func (m *Manager) worker() {
 		j.mu.Unlock()
 		m.hQueueWait.Observe(float64(now.Sub(j.enqueued)) / float64(time.Millisecond))
 		m.gPeak.SetMax(m.gRunning.Add(1))
-
-		res, err := m.cfg.Runner(j.spec, j.canceled)
-
+		m.execute(j)
 		m.gRunning.Add(-1)
-		end := time.Now()
-		m.hRun.Observe(float64(end.Sub(j.started)) / float64(time.Millisecond))
-		j.mu.Lock()
-		j.finished = end
-		switch {
-		case errors.Is(err, ErrCanceled):
-			j.status = StatusCanceled
-			j.err = err.Error()
-			m.mCanceled.Inc()
-		case err != nil:
-			j.status = StatusFailed
-			j.err = err.Error()
-			m.mFailed.Inc()
-		default:
-			j.status = StatusDone
-			j.result = res
-			m.mDone.Inc()
-		}
-		j.mu.Unlock()
 	}
 }
 
+// execute runs a job to a terminal state: attempts with panic isolation,
+// retries with capped exponential backoff, quarantine for repeat
+// panickers, and no terminal at all when shutdown abandons the job (the
+// journal then re-runs it next boot).
+func (m *Manager) execute(j *job) {
+	for {
+		j.mu.Lock()
+		j.attempts++
+		attempts := j.attempts
+		j.mu.Unlock()
+		res, err := m.attempt(j)
+		switch {
+		case m.killed.Load():
+			m.drop(j)
+			return
+		case err == nil:
+			m.finish(j, StatusDone, res, nil)
+			return
+		case j.canceled():
+			m.finish(j, StatusCanceled, nil, ErrCanceled)
+			return
+		case errors.Is(err, ErrJobTimeout):
+			m.finish(j, StatusFailed, nil, err)
+			return
+		case errors.Is(err, ErrJobPanicked):
+			j.panics++
+			if j.panics >= quarantineAfter {
+				m.finish(j, StatusQuarantined, nil, err)
+				return
+			}
+		default:
+			if attempts >= m.cfg.Retry.MaxAttempts {
+				m.finish(j, StatusFailed, nil, err)
+				return
+			}
+		}
+		m.mRetried.Inc()
+		m.clock.Sleep(m.cfg.Retry.backoff(attempts), m.baseCtx.Done())
+		if m.killed.Load() {
+			m.drop(j)
+			return
+		}
+	}
+}
+
+// attempt runs the runner once with a per-job context and converts panics
+// into ErrJobPanicked so one poisoned job cannot take the daemon down.
+func (m *Manager) attempt(j *job) (res *Result, err error) {
+	ctx := m.baseCtx
+	var cancel context.CancelFunc
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	j.mu.Lock()
+	j.stopRun = cancel
+	if j.cancel {
+		cancel() // Cancel won the race with attempt setup
+	}
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.stopRun = nil
+		j.mu.Unlock()
+		if r := recover(); r != nil {
+			m.mPanicked.Inc()
+			res, err = nil, fmt.Errorf("%w: %v", ErrJobPanicked, r)
+		}
+	}()
+	res, err = m.cfg.Runner(ctx, j.spec)
+	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		err = fmt.Errorf("%w after %v", ErrJobTimeout, m.cfg.JobTimeout)
+	}
+	return res, err
+}
+
+// finish journals the terminal state, then publishes it. The ordering is
+// the no-duplicates contract: a client can only observe a terminal status
+// that is already durable, so replay never re-runs such a job.
+func (m *Manager) finish(j *job, st Status, res *Result, err error) {
+	if m.cfg.Journal != nil {
+		m.cfg.Journal.LogTerminal(j.id, st)
+	}
+	end := m.clock.Now()
+	j.mu.Lock()
+	j.finished = end
+	j.status = st
+	j.result = res
+	if err != nil {
+		j.err = err.Error()
+	}
+	started := j.started
+	j.mu.Unlock()
+	if !started.IsZero() {
+		m.hRun.Observe(float64(end.Sub(started)) / float64(time.Millisecond))
+	}
+	switch st {
+	case StatusDone:
+		m.mDone.Inc()
+	case StatusFailed:
+		m.mFailed.Inc()
+	case StatusCanceled:
+		m.mCanceled.Inc()
+	case StatusQuarantined:
+		m.mQuarantined.Inc()
+		m.mu.Lock()
+		m.quarantine = append(m.quarantine, j.id)
+		m.mu.Unlock()
+	}
+}
+
+// drop abandons a job during a killed shutdown: the in-memory table shows
+// it canceled for any late observer, but no terminal is journaled — the
+// job is still pending on disk and the next boot re-runs it.
+func (m *Manager) drop(j *job) {
+	j.mu.Lock()
+	if !j.status.Terminal() {
+		j.status = StatusCanceled
+		j.err = "abandoned by shutdown (still pending in journal)"
+		j.finished = m.clock.Now()
+	}
+	j.mu.Unlock()
+}
+
 // run is the default pipeline: obtain the trace (decode or render), attach
-// the store, slice through the cache, and package the statistics.
-func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
+// the store, slice through the cache, and package the statistics. The
+// context's deadline/cancellation is polled at phase boundaries and,
+// through slicer.Options.Canceled, inside the backward walk itself.
+func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 	t, err := obtainTrace(spec)
 	if err != nil {
 		return nil, err
 	}
-	if canceled() {
+	if ctx.Err() != nil {
 		return nil, ErrCanceled
 	}
 	p := core.NewProfiler(t)
 	p.Opts.ProgressPoints = 160
 	p.Opts.MainThread = browser.MainThread
+	p.Opts.Canceled = func() bool { return ctx.Err() != nil }
 	key := ""
 	if m.cfg.Store != nil {
 		if err := p.UseStore(m.cfg.Store); err != nil {
@@ -463,6 +814,9 @@ func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
 	}
 	res, hit, err := p.SliceCached(crit, p.Opts)
 	if err != nil {
+		if errors.Is(err, slicer.ErrCanceled) {
+			return nil, ErrCanceled
+		}
 		return nil, err
 	}
 	if verify && hit {
@@ -476,7 +830,7 @@ func (m *Manager) run(spec Spec, canceled func() bool) (*Result, error) {
 			return nil, fmt.Errorf("service: cached slice failed verification: %w", err)
 		}
 	}
-	if canceled() {
+	if ctx.Err() != nil {
 		return nil, ErrCanceled
 	}
 	out := &Result{

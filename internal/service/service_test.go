@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -39,7 +40,7 @@ func TestQueueFullRejectsWithTypedError(t *testing.T) {
 	m := New(Config{
 		Workers:    1,
 		QueueDepth: 1,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			<-block
 			return &Result{}, nil
 		},
@@ -67,7 +68,7 @@ func TestQueueFullRejectsWithTypedError(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	m := New(Config{Workers: 1, Runner: func(Spec, func() bool) (*Result, error) { return &Result{}, nil }})
+	m := New(Config{Workers: 1, Runner: func(context.Context, Spec) (*Result, error) { return &Result{}, nil }})
 	defer m.Close()
 	if _, err := m.Submit(Spec{Site: "no-such-site"}); err == nil {
 		t.Fatal("unknown site accepted")
@@ -103,7 +104,7 @@ func TestWorkerPoolRunsJobsConcurrently(t *testing.T) {
 	m := New(Config{
 		Workers:    n,
 		QueueDepth: n,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			arrived <- struct{}{}
 			<-release
 			return &Result{}, nil
@@ -144,7 +145,7 @@ func TestCloseDrainsAcceptedJobs(t *testing.T) {
 	m := New(Config{
 		Workers:    2,
 		QueueDepth: 16,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			time.Sleep(5 * time.Millisecond)
 			ran.Add(1)
 			return &Result{}, nil
@@ -176,7 +177,7 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 	m := New(Config{
 		Workers:    1,
 		QueueDepth: 4,
-		Runner: func(spec Spec, canceled func() bool) (*Result, error) {
+		Runner: func(ctx context.Context, spec Spec) (*Result, error) {
 			if spec.Site == "bing" {
 				ranB.Store(true)
 			}

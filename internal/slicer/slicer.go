@@ -9,6 +9,7 @@
 package slicer
 
 import (
+	"errors"
 	"fmt"
 
 	"webslice/internal/cdg"
@@ -16,6 +17,10 @@ import (
 	"webslice/internal/trace"
 	"webslice/internal/vmem"
 )
+
+// ErrCanceled aborts a backward pass whose Options.Canceled hook fired —
+// the caller asked for the work to stop (deadline, shutdown, job cancel).
+var ErrCanceled = errors.New("slicer: canceled")
 
 // Criteria designates, for each program point the backward pass reaches,
 // which variables (memory ranges) become live there — the machine form of
@@ -132,6 +137,12 @@ type Options struct {
 	// MainThread identifies the thread whose separate progress curve Figure
 	// 4 plots (Chromium's CrRendererMain analog).
 	MainThread uint8
+	// Canceled, when non-nil, is polled every few thousand records of the
+	// backward walk; returning true aborts the pass with ErrCanceled. The
+	// slicing service uses it to enforce per-job deadlines and cancellation
+	// mid-pass instead of only at phase boundaries. It does not change the
+	// result and is deliberately excluded from store variant fingerprints.
+	Canceled func() bool
 }
 
 // Result is the computed slice plus the statistics the paper reports.
@@ -568,7 +579,14 @@ func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]
 		}
 		states[k] = newSliceState(t, deps, c, opts, live)
 	}
+	// cancelStride spaces out the Canceled polls: cheap enough to be
+	// invisible in the hot loop, frequent enough that a deadline or a
+	// cancellation lands within a few million instructions of being raised.
+	const cancelStride = 1 << 15
 	for i := len(t.Recs) - 1; i >= 0; i-- {
+		if opts.Canceled != nil && i&(cancelStride-1) == 0 && opts.Canceled() {
+			return nil, ErrCanceled
+		}
 		r := &t.Recs[i]
 		for _, s := range states {
 			s.step(i, r)

@@ -1,0 +1,155 @@
+// Circuit breaker over the store's disk layer. The store is a cache: when
+// the disk underneath it starts erroring (a failing device, a full
+// filesystem, a flaky network mount), the correct degradation is to stop
+// touching the disk and serve from memory — compute-without-cache — rather
+// than to fail every job on cache bookkeeping. The breaker counts
+// consecutive disk I/O errors, opens after a threshold, sheds all disk
+// traffic for a cooldown, and then half-opens to let a single probe
+// operation test whether the disk recovered.
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState enumerates the circuit breaker's states.
+type BreakerState int32
+
+const (
+	// BreakerClosed: disk I/O flows normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; one probe operation is allowed
+	// through to test the disk. Success closes the breaker, failure re-opens.
+	BreakerHalfOpen
+	// BreakerOpen: disk I/O is shed entirely until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "breaker?"
+	}
+}
+
+// Breaker defaults: five consecutive disk errors open the circuit, probes
+// resume after five seconds.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	trips    int64     // closed->open transitions
+	shed     int64     // disk operations skipped because the breaker was open
+	errors   int64     // disk I/O errors observed (all states)
+}
+
+func newBreaker() *breaker {
+	return &breaker{threshold: DefaultBreakerThreshold, cooldown: DefaultBreakerCooldown, now: time.Now}
+}
+
+// allow reports whether a disk operation may proceed. In the half-open
+// state exactly one caller wins the probe slot; everyone else is shed until
+// the probe's outcome is recorded.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.shed++
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.shed++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record feeds one disk operation's outcome back. ok means the operation
+// reached the disk and came back without an I/O error (a clean miss counts
+// as success — the disk worked).
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !ok {
+		b.errors++
+	}
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.failures = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case BreakerOpen:
+		// A straggler from before the trip finished; its outcome is stale.
+	}
+}
+
+func (b *breaker) snapshot() (state BreakerState, trips, shed, errs int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.shed, b.errors
+}
+
+// ConfigureBreaker tunes the disk circuit breaker: threshold consecutive
+// I/O errors open it, cooldown is how long it sheds before probing. Zero
+// values keep the current setting.
+func (s *Store) ConfigureBreaker(threshold int, cooldown time.Duration) {
+	s.br.mu.Lock()
+	defer s.br.mu.Unlock()
+	if threshold > 0 {
+		s.br.threshold = threshold
+	}
+	if cooldown > 0 {
+		s.br.cooldown = cooldown
+	}
+}
+
+// BreakerState returns the disk breaker's current state.
+func (s *Store) BreakerState() BreakerState {
+	st, _, _, _ := s.br.snapshot()
+	return st
+}

@@ -9,6 +9,13 @@
 // persistence. Disk blobs carry the trace format's CRC32 integrity
 // trailer, are written atomically (temp file + rename), and a corrupt blob
 // is reported and deleted rather than decoded into garbage.
+//
+// The store is a cache, and it degrades like one: a circuit breaker (see
+// breaker.go) watches disk I/O errors and, once the disk is demonstrably
+// erroring, sheds all disk traffic — reads become memory-layer lookups,
+// writes become memory-only — until a half-open probe finds the disk
+// healthy again. Callers never fail a computation because the cache
+// under them is failing.
 package store
 
 import (
@@ -17,7 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -44,13 +51,17 @@ var ErrCorrupt = errors.New("store: corrupt artifact")
 
 // Stats is a point-in-time snapshot of store activity.
 type Stats struct {
-	Hits     int64 // Gets served (memory or disk)
-	Misses   int64 // Gets that found nothing
-	MemHits  int64 // Gets served from the LRU layer
-	DiskHits int64 // Gets that had to read the disk layer
-	Puts     int64 // artifacts written
-	Evicted  int64 // entries pushed out of the LRU layer
-	Corrupt  int64 // blobs that failed CRC or framing checks
+	Hits         int64 // Gets served (memory or disk)
+	Misses       int64 // Gets that found nothing
+	MemHits      int64 // Gets served from the LRU layer
+	DiskHits     int64 // Gets that had to read the disk layer
+	Puts         int64 // artifacts written
+	Evicted      int64 // entries pushed out of the LRU layer
+	Corrupt      int64 // blobs that failed CRC or framing checks
+	DiskErrors   int64 // disk operations that failed with an I/O error
+	BreakerState int64 // disk breaker state (0 closed, 1 half-open, 2 open)
+	BreakerTrips int64 // times the breaker opened
+	BreakerShed  int64 // disk operations skipped while the breaker was open
 }
 
 // Store is a content-addressed artifact store with an in-memory LRU layer
@@ -58,6 +69,8 @@ type Stats struct {
 type Store struct {
 	dir    string // "" = memory only
 	maxMem int64  // LRU byte budget
+	fsys   FS     // disk operations (OSFS in production)
+	br     *breaker
 
 	mu       sync.Mutex
 	mem      map[string]*list.Element // artifact name -> LRU element
@@ -79,15 +92,29 @@ const DefaultMemBytes = 64 << 20
 // yields a memory-only store (artifacts vanish when evicted). maxMem
 // bounds the in-memory layer in bytes; <= 0 selects DefaultMemBytes.
 func Open(dir string, maxMem int64) (*Store, error) {
+	return OpenFS(dir, maxMem, OSFS{})
+}
+
+// OpenFS is Open over an explicit filesystem — the seam fault-injection
+// tests use to exercise the disk breaker and corruption paths.
+func OpenFS(dir string, maxMem int64, fsys FS) (*Store, error) {
 	if maxMem <= 0 {
 		maxMem = DefaultMemBytes
 	}
+	if fsys == nil {
+		fsys = OSFS{}
+	}
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return &Store{dir: dir, maxMem: maxMem, mem: make(map[string]*list.Element), lru: list.New()}, nil
+	return &Store{
+		dir:    dir,
+		fsys:   fsys,
+		br:     newBreaker(),
+		maxMem: maxMem, mem: make(map[string]*list.Element), lru: list.New(),
+	}, nil
 }
 
 // Dir returns the disk root ("" for a memory-only store).
@@ -116,30 +143,38 @@ func (s *Store) path(name string) string { return filepath.Join(s.dir, name+".ws
 // Put stores an artifact under (kind, key), overwriting any previous
 // version, in both the LRU layer and (if configured) on disk. The disk
 // write is atomic: a temp file in the same directory renamed into place.
+// A disk I/O failure does not fail the Put: the artifact degrades to
+// memory-only and the error feeds the disk circuit breaker, which sheds
+// further disk writes once the disk is demonstrably erroring.
 func (s *Store) Put(kind, key string, data []byte) error {
 	n := name(kind, key)
-	if s.dir != "" {
-		blob := seal(data)
-		tmp, err := os.CreateTemp(s.dir, ".tmp-"+n+"-*")
-		if err != nil {
-			return fmt.Errorf("store: put %s: %w", n, err)
-		}
-		_, werr := tmp.Write(blob)
-		cerr := tmp.Close()
-		if werr == nil {
-			werr = cerr
-		}
-		if werr == nil {
-			werr = os.Rename(tmp.Name(), s.path(n))
-		}
-		if werr != nil {
-			os.Remove(tmp.Name())
-			return fmt.Errorf("store: put %s: %w", n, werr)
-		}
+	if s.dir != "" && s.br.allow() {
+		s.br.record(s.diskWrite(n, seal(data)) == nil)
 	}
 	// The LRU keeps its own copy so later caller mutations can't alias in.
 	s.memInsert(n, append([]byte(nil), data...))
 	s.puts.Add(1)
+	return nil
+}
+
+// diskWrite performs the atomic temp-file-and-rename protocol.
+func (s *Store) diskWrite(n string, blob []byte) error {
+	tmp, err := s.fsys.CreateTemp(s.dir, ".tmp-"+n+"-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = s.fsys.Rename(tmp.Name(), s.path(n))
+	}
+	if werr != nil {
+		s.fsys.Remove(tmp.Name())
+		return werr
+	}
 	return nil
 }
 
@@ -158,25 +193,29 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 		return data, true, nil
 	}
 	s.mu.Unlock()
-	if s.dir == "" {
+	if s.dir == "" || !s.br.allow() {
 		s.misses.Add(1)
 		return nil, false, nil
 	}
-	blob, err := os.ReadFile(s.path(n))
-	if errors.Is(err, os.ErrNotExist) {
+	blob, err := s.fsys.ReadFile(s.path(n))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.br.record(true) // the disk answered; the artifact just isn't there
 		s.misses.Add(1)
 		return nil, false, nil
 	}
 	if err != nil {
+		s.br.record(false)
+		s.misses.Add(1)
 		return nil, false, fmt.Errorf("store: get %s: %w", n, err)
 	}
+	s.br.record(true)
 	data, err := unseal(blob)
 	if err != nil {
 		s.corrupt.Add(1)
-		os.Remove(s.path(n))
+		s.fsys.Remove(s.path(n))
 		return nil, false, fmt.Errorf("store: get %s: %w", n, err)
 	}
-	s.memInsert(n, data)
+	s.memPromote(n, data)
 	s.diskHits.Add(1)
 	s.hits.Add(1)
 	return data, true, nil
@@ -189,23 +228,29 @@ func (s *Store) Has(kind, key string) bool {
 	s.mu.Lock()
 	_, ok := s.mem[n]
 	s.mu.Unlock()
-	if ok || s.dir == "" {
+	if ok || s.dir == "" || !s.br.allow() {
 		return ok
 	}
-	_, err := os.Stat(s.path(n))
+	_, err := s.fsys.Stat(s.path(n))
+	s.br.record(err == nil || errors.Is(err, fs.ErrNotExist))
 	return err == nil
 }
 
 // Stats returns a snapshot of the activity counters.
 func (s *Store) Stats() Stats {
+	brState, brTrips, brShed, brErrs := s.br.snapshot()
 	return Stats{
-		Hits:     s.hits.Load(),
-		Misses:   s.misses.Load(),
-		MemHits:  s.memHits.Load(),
-		DiskHits: s.diskHits.Load(),
-		Puts:     s.puts.Load(),
-		Evicted:  s.evicted.Load(),
-		Corrupt:  s.corrupt.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		MemHits:      s.memHits.Load(),
+		DiskHits:     s.diskHits.Load(),
+		Puts:         s.puts.Load(),
+		Evicted:      s.evicted.Load(),
+		Corrupt:      s.corrupt.Load(),
+		DiskErrors:   brErrs,
+		BreakerState: int64(brState),
+		BreakerTrips: brTrips,
+		BreakerShed:  brShed,
 	}
 }
 
@@ -217,8 +262,20 @@ func (s *Store) MemBytes() int64 {
 }
 
 func (s *Store) memInsert(n string, data []byte) {
+	s.memStore(n, data, true)
+}
+
+// memStore is the shared LRU insertion; overwrite=false drops the write if
+// the key already has an entry (the check and the insert happen under one
+// lock acquisition — see memPromote for why that atomicity matters).
+func (s *Store) memStore(n string, data []byte, overwrite bool) {
 	s.mu.Lock()
 	if el, ok := s.mem[n]; ok {
+		if !overwrite {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			return
+		}
 		s.memBytes += int64(len(data)) - int64(len(el.Value.(*memEntry).data))
 		el.Value.(*memEntry).data = data
 		s.lru.MoveToFront(el)
@@ -239,6 +296,16 @@ func (s *Store) memInsert(n string, data []byte) {
 	s.mu.Unlock()
 }
 
+// memPromote inserts a blob read from disk into the LRU layer only if the
+// key is still absent. A plain memInsert here would race with a concurrent
+// Put: Put writes fresher bytes to disk and memory between this goroutine's
+// disk read and its promotion, and overwriting them with what was just read
+// would pin stale data in the memory layer (where every later Get finds it
+// first). Losing the promotion is harmless — the next miss re-reads disk.
+func (s *Store) memPromote(n string, data []byte) {
+	s.memStore(n, data, false)
+}
+
 // dropCorrupt evicts an artifact whose payload failed decoding from both
 // layers, so the next Get is a clean miss instead of re-serving poison. The
 // memory eviction decrements the LRU byte gauge — leaving memBytes inflated
@@ -256,7 +323,7 @@ func (s *Store) dropCorrupt(kind, key string) {
 	s.mu.Unlock()
 	s.corrupt.Add(1)
 	if s.dir != "" {
-		os.Remove(s.path(n))
+		s.fsys.Remove(s.path(n))
 	}
 }
 

@@ -53,6 +53,11 @@ go test -run '^$' -fuzz FuzzReplayAgreesWithSlice -fuzztime 5s ./internal/replay
 # differential, and invariant oracles over 50 property-generated sites.
 go run ./cmd/webslice verify -exp all
 
+# Cluster smoke with real processes: a coordinator fronting two workers on
+# loopback ports runs the golden corpus, one worker is SIGKILLed mid-batch,
+# and every acked job must still finish with its pinned slice digest.
+WEBSLICE_CLUSTER_SMOKE=1 go test -count=1 -run TestMultiNodeSmoke ./cmd/websliced
+
 # Bench smoke: every benchmark must still run (one iteration at a small
 # scale) so perf harness rot is caught in CI, not at measurement time.
 WEBSLICE_SCALE=0.05 go test -bench=. -benchtime=1x -run '^$' ./...

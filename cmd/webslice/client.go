@@ -1,5 +1,10 @@
-// Client mode: webslice submit|status|result talk to a running websliced
-// over its HTTP API, so the batch CLI and the service share one workflow.
+// Client mode: webslice submit|status|result|scatter talk to a running
+// websliced (standalone or cluster coordinator) over its HTTP API, so the
+// batch CLI and the service share one workflow. Submission honors the
+// server's backpressure contract — a 429 is retried after its Retry-After
+// hint (or a capped exponential backoff) — and result polling backs off
+// exponentially instead of hammering the daemon, all on an injectable
+// clock so the schedules are testable without real sleeps.
 package main
 
 import (
@@ -10,69 +15,199 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"webslice/internal/report"
 	"webslice/internal/service"
 )
 
-// clientSubmit posts a job: a binary trace file when tracePath is set,
-// otherwise a named site. With wait it polls until the job finishes and
-// prints the result.
-func clientSubmit(addr, site string, scale float64, criteria, tracePath string, wait, verify bool) error {
-	var resp *http.Response
-	var err error
-	if tracePath != "" {
-		body, rerr := os.ReadFile(tracePath)
-		if rerr != nil {
-			return rerr
-		}
-		url := addr + "/jobs/trace?criteria=" + criteria
-		if verify {
-			url += "&verify=1"
-		}
-		resp, err = http.Post(url, "application/octet-stream", bytes.NewReader(body))
-	} else {
-		spec, _ := json.Marshal(service.Spec{Site: site, Scale: scale, Criteria: criteria, Verify: verify})
-		resp, err = http.Post(addr+"/jobs", "application/json", bytes.NewReader(spec))
+// Poll/backoff shape for the client's HTTP loops.
+const (
+	pollBase = 100 * time.Millisecond
+	pollMax  = 2 * time.Second
+)
+
+// client talks to one websliced base URL. The clock seam is what the
+// backoff tests hang off; production passes service.SystemClock.
+type client struct {
+	base    string
+	hc      *http.Client
+	clock   service.Clock
+	maxWait time.Duration // total budget for one command; 0 = no limit
+}
+
+func newClient(addr string, maxWait time.Duration) *client {
+	return &client{base: addr, hc: http.DefaultClient, clock: service.SystemClock, maxWait: maxWait}
+}
+
+// deadline materializes the -max-wait budget; ok reports whether a
+// deadline exists at all.
+func (c *client) deadline() (time.Time, bool) {
+	if c.maxWait <= 0 {
+		return time.Time{}, false
 	}
+	return c.clock.Now().Add(c.maxWait), true
+}
+
+// sleepOrExpire sleeps d (trimmed to the deadline) and returns an error
+// once the budget is exhausted.
+func (c *client) sleepOrExpire(d time.Duration, deadline time.Time, has bool, what string) error {
+	if has {
+		left := deadline.Sub(c.clock.Now())
+		if left <= 0 {
+			return fmt.Errorf("gave up %s after -max-wait %v", what, c.maxWait)
+		}
+		if d > left {
+			d = left
+		}
+	}
+	c.clock.Sleep(d, nil)
+	return nil
+}
+
+// retryAfter parses a 429's Retry-After header (delay-seconds form) into
+// a duration; 0 when absent or unparsable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// submitOnce posts the job and returns (id, retry, err): retry is non-nil
+// when the server answered 429 and the request should be repeated after
+// that delay.
+func (c *client) submitOnce(post func() (*http.Response, error)) (string, *time.Duration, error) {
+	resp, err := post()
 	if err != nil {
-		return err
+		return "", nil, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		d := retryAfter(resp)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return "", &d, nil
 	}
 	var out struct {
 		ID    string `json:"id"`
 		Error string `json:"error"`
 	}
 	if err := decodeJSON(resp, http.StatusAccepted, &out); err != nil {
+		return "", nil, err
+	}
+	return out.ID, nil, nil
+}
+
+// submit posts a job, honoring Retry-After on 429 responses with capped
+// exponential backoff between attempts, within the -max-wait budget.
+func (c *client) submit(post func() (*http.Response, error)) (string, error) {
+	deadline, has := c.deadline()
+	backoff := pollBase
+	for {
+		id, retry, err := c.submitOnce(post)
+		if err != nil {
+			return "", err
+		}
+		if retry == nil {
+			return id, nil
+		}
+		// The server's hint wins when it is longer than our own schedule.
+		d := backoff
+		if *retry > d {
+			d = *retry
+		}
+		fmt.Fprintf(os.Stderr, "queue full, retrying in %v...\n", d)
+		if err := c.sleepOrExpire(d, deadline, has, "submitting (server busy)"); err != nil {
+			return "", err
+		}
+		if backoff *= 2; backoff > pollMax {
+			backoff = pollMax
+		}
+	}
+}
+
+// clientSubmit posts a job: a binary trace file when tracePath is set,
+// otherwise a named site. With wait it polls (with capped exponential
+// backoff) until the job finishes and prints the result.
+func (c *client) clientSubmit(site string, scale float64, criteria, tracePath string, wait, verify bool) error {
+	var post func() (*http.Response, error)
+	if tracePath != "" {
+		body, err := os.ReadFile(tracePath)
+		if err != nil {
+			return err
+		}
+		url := c.base + "/jobs/trace?criteria=" + criteria
+		if verify {
+			url += "&verify=1"
+		}
+		post = func() (*http.Response, error) {
+			return c.hc.Post(url, "application/octet-stream", bytes.NewReader(body))
+		}
+	} else {
+		spec, _ := json.Marshal(service.Spec{Site: site, Scale: scale, Criteria: criteria, Verify: verify})
+		post = func() (*http.Response, error) {
+			return c.hc.Post(c.base+"/jobs", "application/json", bytes.NewReader(spec))
+		}
+	}
+	id, err := c.submit(post)
+	if err != nil {
 		return err
 	}
-	fmt.Println(out.ID)
+	fmt.Println(id)
 	if !wait {
 		return nil
 	}
+	if err := c.await(id); err != nil {
+		return err
+	}
+	return c.clientResult(id)
+}
+
+// await polls a job until it is terminal, backing off exponentially from
+// pollBase to pollMax, within the -max-wait budget.
+func (c *client) await(id string) error {
+	deadline, has := c.deadline()
+	backoff := pollBase
 	for {
-		info, err := fetchStatus(addr, out.ID)
+		info, err := c.fetchStatus(id)
 		if err != nil {
 			return err
 		}
 		if info.Status.Terminal() {
 			if info.Status != service.StatusDone {
-				return fmt.Errorf("job %s %s: %s", out.ID, info.Status, info.Error)
+				return fmt.Errorf("job %s %s: %s", id, info.Status, info.Error)
 			}
-			return clientResult(addr, out.ID)
+			return nil
 		}
-		time.Sleep(200 * time.Millisecond)
+		if err := c.sleepOrExpire(backoff, deadline, has, fmt.Sprintf("waiting for job %s", id)); err != nil {
+			return err
+		}
+		if backoff *= 2; backoff > pollMax {
+			backoff = pollMax
+		}
 	}
 }
 
 // clientStatus prints one job's status line.
-func clientStatus(addr, id string) error {
-	info, err := fetchStatus(addr, id)
+func (c *client) clientStatus(id string) error {
+	info, err := c.fetchStatus(id)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s  %-9s site=%s criteria=%s queue=%.0fms run=%.0fms cache_hit=%t", // one line per job
-		info.ID, info.Status, orDash(info.Site), info.Criteria, info.QueueMs, info.RunMs, info.CacheHit)
+		info.ID, info.Status, orDash(siteLabel(info)), info.Criteria, info.QueueMs, info.RunMs, info.CacheHit)
+	if info.Node != "" {
+		fmt.Printf(" node=%s", info.Node)
+	}
+	if info.Reroutes > 0 {
+		fmt.Printf(" reroutes=%d", info.Reroutes)
+	}
 	if info.Error != "" {
 		fmt.Printf(" error=%q", info.Error)
 	}
@@ -80,9 +215,16 @@ func clientStatus(addr, id string) error {
 	return nil
 }
 
+func siteLabel(info service.Info) string {
+	if info.Site == "" && info.Seed != 0 {
+		return fmt.Sprintf("rand-%d", info.Seed)
+	}
+	return info.Site
+}
+
 // clientResult fetches and pretty-prints a finished job's result.
-func clientResult(addr, id string) error {
-	resp, err := http.Get(addr + "/jobs/" + id + "/result")
+func (c *client) clientResult(id string) error {
+	resp, err := c.hc.Get(c.base + "/jobs/" + id + "/result")
 	if err != nil {
 		return err
 	}
@@ -101,6 +243,9 @@ func clientResult(addr, id string) error {
 	fmt.Println()
 	if res.TraceKey != "" {
 		fmt.Printf("  trace key: %s\n", res.TraceKey)
+	}
+	if res.SliceDigest != "" {
+		fmt.Printf("  slice digest: %s\n", res.SliceDigest)
 	}
 	for _, th := range res.Threads {
 		pct := 0.0
@@ -123,10 +268,70 @@ func clientResult(addr, id string) error {
 	return nil
 }
 
+// clientScatter fans a comma-separated site list through a coordinator's
+// /batch endpoint and (with wait) gathers the results in site order.
+func (c *client) clientScatter(sitesCSV string, scale float64, criteria string, wait bool) error {
+	names := splitSites(sitesCSV)
+	if len(names) == 0 {
+		return fmt.Errorf("scatter: no sites (use -sites a,b,c)")
+	}
+	specs := make([]service.Spec, len(names))
+	for i, n := range names {
+		specs[i] = service.Spec{Site: n, Scale: scale, Criteria: criteria}
+	}
+	body, _ := json.Marshal(specs)
+	resp, err := c.hc.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var out struct {
+		IDs   []string `json:"ids"`
+		Error string   `json:"error"`
+	}
+	if err := decodeJSON(resp, http.StatusAccepted, &out); err != nil {
+		return err
+	}
+	if len(out.IDs) != len(names) {
+		return fmt.Errorf("scatter: server acked %d of %d jobs", len(out.IDs), len(names))
+	}
+	for i, id := range out.IDs {
+		fmt.Printf("%s  %s\n", id, names[i])
+	}
+	if !wait {
+		return nil
+	}
+	// Gather in site order: results print deterministically no matter
+	// which worker finished first.
+	for i, id := range out.IDs {
+		if err := c.await(id); err != nil {
+			return fmt.Errorf("site %s: %w", names[i], err)
+		}
+		fmt.Printf("== %s\n", names[i])
+		if err := c.clientResult(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func splitSites(csv string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(csv); i++ {
+		if i == len(csv) || csv[i] == ',' {
+			if s := csv[start:i]; s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
 // clientQuarantined lists the daemon's poisoned-job list: jobs pulled from
 // rotation after panicking twice instead of crash-looping the service.
-func clientQuarantined(addr string) error {
-	resp, err := http.Get(addr + "/jobs/quarantined")
+func (c *client) clientQuarantined() error {
+	resp, err := c.hc.Get(c.base + "/jobs/quarantined")
 	if err != nil {
 		return err
 	}
@@ -140,13 +345,13 @@ func clientQuarantined(addr string) error {
 	}
 	for _, info := range jobs {
 		fmt.Printf("%s  quarantined site=%s criteria=%s attempts=%d error=%q\n",
-			info.ID, orDash(info.Site), info.Criteria, info.Attempts, info.Error)
+			info.ID, orDash(siteLabel(info)), info.Criteria, info.Attempts, info.Error)
 	}
 	return nil
 }
 
-func fetchStatus(addr, id string) (service.Info, error) {
-	resp, err := http.Get(addr + "/jobs/" + id)
+func (c *client) fetchStatus(id string) (service.Info, error) {
+	resp, err := c.hc.Get(c.base + "/jobs/" + id)
 	if err != nil {
 		return service.Info{}, err
 	}

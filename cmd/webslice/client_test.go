@@ -1,0 +1,213 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webslice/internal/service"
+)
+
+// recordClock is an auto-advancing service.Clock: Sleep returns at once
+// but logs the requested duration and moves Now forward by it, so the
+// client's backoff schedule is asserted without real waiting.
+type recordClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newRecordClock() *recordClock { return &recordClock{now: time.Unix(1700000000, 0)} }
+
+func (c *recordClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *recordClock) Sleep(d time.Duration, stop <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+}
+
+func (c *recordClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+func testClient(srv *httptest.Server, maxWait time.Duration) (*client, *recordClock) {
+	clock := newRecordClock()
+	return &client{base: srv.URL, hc: srv.Client(), clock: clock, maxWait: maxWait}, clock
+}
+
+// A busy server's 429s are retried, waiting out the Retry-After hint when
+// it exceeds the client's own backoff, and the submit eventually lands.
+func TestClientSubmitHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	posts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		n := posts
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "j000123"})
+	}))
+	defer srv.Close()
+
+	c, clock := testClient(srv, 0)
+	id, err := c.submit(func() (*http.Response, error) {
+		return c.hc.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{}"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j000123" {
+		t.Fatalf("id = %q", id)
+	}
+	if posts != 3 {
+		t.Fatalf("posts = %d, want 3 (two 429s then accept)", posts)
+	}
+	// Retry-After: 3 dominates the 100ms/200ms base backoff both times.
+	want := []time.Duration{3 * time.Second, 3 * time.Second}
+	got := clock.Sleeps()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+}
+
+// Without a Retry-After header the client falls back to its own capped
+// exponential backoff: 100ms, 200ms, 400ms, ... capped at 2s.
+func TestClientSubmitExponentialBackoff(t *testing.T) {
+	var mu sync.Mutex
+	posts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		n := posts
+		mu.Unlock()
+		if n <= 7 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "j1"})
+	}))
+	defer srv.Close()
+
+	c, clock := testClient(srv, 0)
+	if _, err := c.submit(func() (*http.Response, error) {
+		return c.hc.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{}"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	got := clock.Sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep[%d] = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// -max-wait bounds the total time spent retrying: a permanently busy
+// server produces an error instead of an unbounded loop.
+func TestClientSubmitMaxWait(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "10")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c, clock := testClient(srv, 15*time.Second)
+	_, err := c.submit(func() (*http.Response, error) {
+		return c.hc.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{}"))
+	})
+	if err == nil || !strings.Contains(err.Error(), "-max-wait") {
+		t.Fatalf("err = %v, want a -max-wait give-up", err)
+	}
+	// First wait (10s, trimmed within budget) runs; the second attempt's
+	// wait is trimmed to the remaining 5s; the third finds no budget left.
+	sleeps := clock.Sleeps()
+	if len(sleeps) != 2 || sleeps[0] != 10*time.Second || sleeps[1] != 5*time.Second {
+		t.Fatalf("sleeps = %v, want [10s 5s]", sleeps)
+	}
+}
+
+// Result polling backs off exponentially instead of the old fixed 200ms
+// hammer, and stops as soon as the job reports terminal.
+func TestClientAwaitBackoff(t *testing.T) {
+	var mu sync.Mutex
+	polls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		polls++
+		n := polls
+		mu.Unlock()
+		info := service.Info{ID: "j1", Status: service.StatusRunning}
+		if n >= 4 {
+			info.Status = service.StatusDone
+		}
+		json.NewEncoder(w).Encode(info)
+	}))
+	defer srv.Close()
+
+	c, clock := testClient(srv, 0)
+	if err := c.await("j1"); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	got := clock.Sleeps()
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sleep[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// A failed job surfaces its error through await rather than hanging.
+func TestClientAwaitFailedJob(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.Info{ID: "j1", Status: service.StatusFailed, Error: "panic: bad trace"})
+	}))
+	defer srv.Close()
+	c, _ := testClient(srv, 0)
+	err := c.await("j1")
+	if err == nil || !strings.Contains(err.Error(), "bad trace") {
+		t.Fatalf("err = %v, want the job's failure", err)
+	}
+}
+
+func TestSplitSites(t *testing.T) {
+	got := splitSites("a,b,,c,")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitSites = %v", got)
+	}
+	if splitSites("") != nil {
+		t.Fatal("splitSites(\"\") != nil")
+	}
+}

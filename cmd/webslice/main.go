@@ -37,7 +37,9 @@ func main() {
 	addr := fs.String("addr", "http://localhost:8077", "websliced base URL (submit/status/result commands)")
 	id := fs.String("id", "", "job id (status/result commands)")
 	criteria := fs.String("criteria", "pixels", "slicing criteria: pixels|syscalls (submit command)")
-	wait := fs.Bool("wait", false, "submit: poll until the job finishes and print its result")
+	wait := fs.Bool("wait", false, "submit/scatter: poll until the job finishes and print its result")
+	maxWait := fs.Duration("max-wait", 0, "client commands: give up after this total wait (0 = no limit)")
+	scatterSites := fs.String("sites", "", "scatter: comma-separated site names to fan across the cluster")
 	jobVerify := fs.Bool("verify", false, "submit: ask the service to run the slice oracles on the job")
 	count := fs.Int("count", 50, "verify: number of property-generated sites")
 	seed := fs.Uint64("seed", 1, "verify: first property-site seed (site k uses seed+k)")
@@ -88,13 +90,15 @@ func main() {
 	case "calibrate":
 		err = calibrate(*scale)
 	case "submit":
-		err = clientSubmit(*addr, *site, *scale, *criteria, *in, *wait, *jobVerify)
+		err = newClient(*addr, *maxWait).clientSubmit(*site, *scale, *criteria, *in, *wait, *jobVerify)
+	case "scatter":
+		err = newClient(*addr, *maxWait).clientScatter(*scatterSites, *scale, *criteria, *wait)
 	case "status":
-		err = clientStatus(*addr, *id)
+		err = newClient(*addr, *maxWait).clientStatus(*id)
 	case "result":
-		err = clientResult(*addr, *id)
+		err = newClient(*addr, *maxWait).clientResult(*id)
 	case "quarantined":
-		err = clientQuarantined(*addr)
+		err = newClient(*addr, *maxWait).clientQuarantined()
 	default:
 		stopProfiles()
 		usage()
@@ -160,6 +164,8 @@ commands:
              -update to regenerate digests)
   submit     send a job to a running websliced (-site or -i trace, -criteria,
              -wait to block for the result, -verify for server-side oracles)
+  scatter    fan a batch of sites across a websliced cluster coordinator
+             (-sites a,b,c; -wait gathers results in site order)
   status     print a websliced job's status (-id)
   result     print a finished websliced job's result (-id)
   quarantined  list websliced's poisoned jobs (quarantined after panicking)
@@ -168,7 +174,7 @@ flags: -scale 1.0 (workload size, must be > 0), -exp all, -site amazon-desktop,
        -j 0 (concurrent experiment sessions, 0 = GOMAXPROCS), -o/-i trace path,
        -faultseed 7 (fault-plan seed for -exp faults), -json (repro),
        -cpuprofile/-memprofile <file> (pprof output),
-       -addr http://localhost:8077, -id <job> (service client commands)`)
+       -addr http://localhost:8077, -id <job>, -max-wait 0 (client commands)`)
 }
 
 func benchByName(name string, scale float64, browse bool) (sites.Benchmark, error) {

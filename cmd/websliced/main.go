@@ -5,7 +5,16 @@
 // pass entirely. With -journal, every acknowledged submission is written
 // to a write-ahead log before the ID is returned, so a crash (or a drain
 // that runs out of time) loses no accepted work — the next boot replays
-// and finishes it. See `webslice submit|status|result` for the client side.
+// and finishes it.
+//
+// With -coordinator -peers=..., the daemon fronts a cluster instead of
+// (only) slicing itself: a consistent-hash ring over the peers assigns
+// every job an owner keyed by its trace digest, submissions are routed to
+// the owner over the same HTTP API the workers already serve, and
+// status/result polls are proxied transparently. Dead workers are probed
+// out of the ring and their pending jobs re-routed; the coordinator's own
+// manager executes whatever the ring cannot place. See README "Cluster
+// mode" and `webslice submit|status|result|scatter` for the client side.
 package main
 
 import (
@@ -18,9 +27,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"webslice/internal/cluster"
 	"webslice/internal/service"
 	"webslice/internal/store"
 )
@@ -36,22 +47,60 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 	maxTraceMB := flag.Int64("max-trace-mb", 0, "reject submitted traces larger than this many MiB (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget; unfinished jobs stay in the journal")
+	node := flag.String("node", "", "this node's advertised base URL in a cluster (default http://<addr>)")
+	coordinator := flag.Bool("coordinator", false, "serve the cluster coordinator API, routing jobs across -peers")
+	peers := flag.String("peers", "", "comma-separated worker base URLs forming the ring (coordinator mode); include this node's -node URL to give the coordinator a ring share")
+	probeInterval := flag.Duration("probe-interval", cluster.DefaultProbeInterval, "peer health-probe period (coordinator mode)")
+	probeFails := flag.Int("probe-fails", cluster.DefaultFailThreshold, "consecutive probe failures that evict a peer (coordinator mode)")
 	flag.Parse()
 
+	self := *node
+	if self == "" {
+		self = "http://" + *addr
+	}
 	cfg := service.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		Verify:        *verify,
 		JobTimeout:    *jobTimeout,
 		MaxTraceBytes: *maxTraceMB << 20,
+		Node:          self,
 	}
-	if err := run(*addr, *dir, *memMB<<20, *journal, *drainTimeout, cfg); err != nil {
+	cl := clusterConfig{
+		coordinator:   *coordinator,
+		self:          self,
+		peers:         splitPeers(*peers),
+		probeInterval: *probeInterval,
+		probeFails:    *probeFails,
+	}
+	if err := run(*addr, *dir, *memMB<<20, *journal, *drainTimeout, cfg, cl); err != nil {
 		fmt.Fprintln(os.Stderr, "websliced:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time.Duration, cfg service.Config) error {
+type clusterConfig struct {
+	coordinator   bool
+	self          string
+	peers         []string
+	probeInterval time.Duration
+	probeFails    int
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time.Duration, cfg service.Config, cl clusterConfig) error {
+	if len(cl.peers) > 0 && !cl.coordinator {
+		return errors.New("-peers requires -coordinator")
+	}
 	st, err := store.Open(dir, memBytes)
 	if err != nil {
 		return err
@@ -75,7 +124,20 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 	// The service API at /, plus net/http/pprof under /debug/pprof/ so a
 	// live daemon can be profiled (CPU, heap, goroutines) without a restart.
 	mux := http.NewServeMux()
-	mux.Handle("/", service.NewHandler(mgr))
+	var co *cluster.Coordinator
+	if cl.coordinator {
+		co = cluster.New(cluster.Config{
+			Self:          cl.self,
+			Local:         mgr,
+			Peers:         cl.peers,
+			ProbeInterval: cl.probeInterval,
+			FailThreshold: cl.probeFails,
+		})
+		co.Start()
+		mux.Handle("/", cluster.NewHandler(co))
+	} else {
+		mux.Handle("/", service.NewHandler(mgr))
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -88,8 +150,13 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("websliced: listening on %s (workers=%d queue=%d store=%q journal=%q)",
-			addr, cfg.Workers, cfg.QueueDepth, dir, journalPath)
+		if cl.coordinator {
+			log.Printf("websliced: coordinator %s listening on %s (peers=%v workers=%d queue=%d store=%q journal=%q)",
+				cl.self, addr, cl.peers, cfg.Workers, cfg.QueueDepth, dir, journalPath)
+		} else {
+			log.Printf("websliced: listening on %s (workers=%d queue=%d store=%q journal=%q)",
+				addr, cfg.Workers, cfg.QueueDepth, dir, journalPath)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -104,6 +171,9 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 	// abandoned — they stay pending in the journal and the next boot
 	// re-runs them (without a journal they are lost, as before).
 	log.Printf("websliced: shutting down, draining jobs (budget %v)...", drainTimeout)
+	if co != nil {
+		co.Stop()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

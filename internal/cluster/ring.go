@@ -1,0 +1,174 @@
+// Package cluster turns websliced into a horizontally scalable service: a
+// consistent-hash ring assigns every job an owner node, a health-checked
+// membership evicts dead workers and re-admits recovered ones, and a
+// coordinator routes submissions to their owners over the existing HTTP
+// API while transparently proxying status and result polls.
+//
+// The unit of distribution is the job key — the SHA-256 trace digest for
+// submitted traces, a canonical rendering identity for site jobs. Because
+// rendering is deterministic and the artifact store is content-addressed
+// by that same digest (internal/store), routing a repeat submission to the
+// node that ran it before turns the whole forward pass into a cache hit:
+// the ring *is* the cache-affinity scheduler.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per member. 128 points per
+// node keeps the ownership skew over random SHA-256 keys within a few
+// tens of percent of fair share (see ring_test.go's 10k-digest bound).
+const DefaultReplicas = 128
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by a member.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Ownership is a pure
+// function of the member set — no construction-order or process-lifetime
+// state — so every node (and every restart of the same node) that knows
+// the same membership computes the same owner for every key. All methods
+// are safe for concurrent use.
+type Ring struct {
+	replicas int
+
+	mu     sync.RWMutex
+	nodes  map[string]struct{}
+	points []point // sorted by (hash, node)
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<= 0 selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// hashPoint places virtual node i of a member on the circle.
+func hashPoint(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(node + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// hashKey places a job key on the circle. Keys are usually already hex
+// SHA-256 digests; hashing again costs little and keeps non-digest keys
+// (site identities) uniformly spread.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member. Adding a present member is a no-op. Only keys
+// whose owning arc the new member's virtual nodes split change owner —
+// roughly 1/N of them for N members — and they all move *to* the new
+// member.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hashPoint(node, i), node})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove deletes a member; only keys it owned change owner. Removing an
+// absent member is a no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Has reports membership.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.nodes[node]
+	return ok
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes returns the members, sorted.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the member owning key: the first virtual node at or after
+// the key's position, wrapping around the circle. ok is false on an empty
+// ring.
+func (r *Ring) Owner(key string) (owner string, ok bool) {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Owners returns up to n distinct members in ring order starting from
+// key's position — the owner first, then the failover candidates a router
+// tries when the owner is unreachable.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"webslice/internal/metrics"
+	"webslice/internal/service"
+)
+
+// JobKey is the distribution identity of a job — the value the ring
+// hashes to pick an owner. Submitted traces use the hex SHA-256 of the
+// trace bytes, which is exactly the content address the artifact store
+// keys its CDG/slice blobs under; site and seed jobs use a canonical
+// rendering identity, which maps to the same trace digest on every node
+// because rendering is deterministic. Criteria are deliberately excluded:
+// both criteria of one trace share the forward-pass artifacts, so they
+// belong on the same node.
+func JobKey(spec service.Spec) string {
+	if len(spec.Trace) > 0 {
+		sum := sha256.Sum256(spec.Trace)
+		return hex.EncodeToString(sum[:])
+	}
+	if spec.Site == "" && spec.Seed != 0 {
+		return "seed\x00" + strconv.FormatUint(spec.Seed, 10)
+	}
+	scale := spec.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	return "site\x00" + spec.Site + "\x00" + strconv.FormatFloat(scale, 'g', -1, 64)
+}
+
+// ErrUnknownJob is returned for ids the coordinator never issued.
+var ErrUnknownJob = errors.New("cluster: unknown job")
+
+// Config wires a Coordinator.
+type Config struct {
+	// Self is this node's advertised base URL. A peer equal to Self is
+	// served by the local manager instead of being forwarded over HTTP.
+	Self string
+	// Local is the coordinator's own manager: the executor for jobs the
+	// ring assigns to Self, and the fallback when every remote candidate
+	// is unreachable.
+	Local *service.Manager
+	// Peers are the ring members' base URLs. Self may be included (the
+	// coordinator then takes its fair share of the key space); if absent,
+	// the coordinator only executes fallback work.
+	Peers []string
+	// Replicas is the ring's virtual-node count (0 = DefaultReplicas).
+	Replicas int
+	// ProbeInterval / FailThreshold / Probe configure health checking
+	// (see MembershipConfig).
+	ProbeInterval time.Duration
+	FailThreshold int
+	Probe         func(url string) error
+	// Clock abstracts time for scatter/gather polling and tests.
+	Clock service.Clock
+	// Metrics receives the routing counters; nil uses Local's registry.
+	Metrics *metrics.Registry
+	// HTTPTimeout bounds each forwarded request (default 60s — trace
+	// uploads can be large).
+	HTTPTimeout time.Duration
+}
+
+// routedJob is the coordinator's record of one admitted job.
+type routedJob struct {
+	id   string
+	spec service.Spec
+	key  string
+
+	mu       sync.Mutex
+	peer     string // "" = local manager
+	remoteID string
+	reroutes int
+	// lastInfo is the freshest observed snapshot, served while the owner
+	// is unreachable and a re-route is pending.
+	lastInfo service.Info
+	// result caches the fetched result so a worker dying after the fetch
+	// costs nothing; affinity counts once per job.
+	result          *service.Result
+	terminal        bool
+	affinityCounted bool
+}
+
+// Coordinator admits jobs, routes each to its ring owner over the
+// websliced HTTP API, and proxies status/result polls under its own job
+// ids. A worker evicted from the ring has its pending jobs re-routed to
+// the keys' new owners — safe because slicing is deterministic and
+// idempotent (a re-run of the same trace is at worst a cache miss).
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	members *Membership
+	client  *http.Client
+	clock   service.Clock
+	reg     *metrics.Registry
+
+	mu     sync.Mutex
+	jobs   map[string]*routedJob
+	nextID int
+
+	cRouted, cLocal, cForwardFailed  *metrics.Counter
+	cRerouted, cAffinity, cFallbacks *metrics.Counter
+}
+
+// New builds a coordinator and its membership. Call Start to begin health
+// probing and Stop on shutdown.
+func New(cfg Config) *Coordinator {
+	if cfg.Local == nil {
+		panic("cluster: Config.Local is required")
+	}
+	if cfg.HTTPTimeout <= 0 {
+		cfg.HTTPTimeout = 60 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = service.SystemClock
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = cfg.Local.Metrics()
+	}
+	ring := NewRing(cfg.Replicas)
+	var remote []string
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			ring.Add(p) // self is always alive; never probed or evicted
+			continue
+		}
+		remote = append(remote, p)
+	}
+	c := &Coordinator{
+		cfg:            cfg,
+		ring:           ring,
+		client:         &http.Client{Timeout: cfg.HTTPTimeout},
+		clock:          cfg.Clock,
+		reg:            reg,
+		jobs:           make(map[string]*routedJob),
+		cRouted:        reg.Counter("cluster_jobs_routed"),
+		cLocal:         reg.Counter("cluster_jobs_local"),
+		cForwardFailed: reg.Counter("cluster_forward_failed"),
+		cRerouted:      reg.Counter("cluster_jobs_rerouted"),
+		cAffinity:      reg.Counter("cluster_affinity_hits"),
+		cFallbacks:     reg.Counter("cluster_local_fallbacks"),
+	}
+	c.members = NewMembership(ring, MembershipConfig{
+		Peers:         remote,
+		ProbeInterval: cfg.ProbeInterval,
+		FailThreshold: cfg.FailThreshold,
+		Probe:         cfg.Probe,
+		Clock:         cfg.Clock,
+		Metrics:       reg,
+		OnEvict:       c.handleEvict,
+	})
+	return c
+}
+
+// Start begins periodic health probing.
+func (c *Coordinator) Start() { c.members.Start() }
+
+// Stop ends health probing. The local manager is not closed — the caller
+// owns its lifecycle.
+func (c *Coordinator) Stop() { c.members.Stop() }
+
+// Ring returns the routing ring (all currently-live members, self
+// included when configured as a peer).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Members snapshots the probed peers' health states.
+func (c *Coordinator) Members() []MemberState { return c.members.Members() }
+
+// Local returns the coordinator's own manager.
+func (c *Coordinator) Local() *service.Manager { return c.cfg.Local }
+
+// Metrics returns the registry the coordinator publishes into.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.reg }
+
+// peerCounter names a per-peer counter, e.g.
+// cluster_routed_peer_http_127_0_0_1_8078.
+func (c *Coordinator) peerCounter(kind, peer string) *metrics.Counter {
+	return c.reg.Counter("cluster_" + kind + "_peer_" + metrics.SanitizeName(peer))
+}
+
+// Submit admits a job: the ring picks the owner for the job's key, the
+// spec is forwarded to it (or run on the local manager when the owner is
+// Self), and a coordinator-scoped id is returned. Unreachable candidates
+// are skipped — their failures feed the membership's eviction counter —
+// and when no ring member accepts the job it falls back to local
+// execution, so a lone coordinator still makes progress. A 429 from the
+// owner is backpressure, not failure: it propagates to the caller rather
+// than stampeding a colder node.
+func (c *Coordinator) Submit(spec service.Spec) (string, error) {
+	key := JobKey(spec)
+	c.mu.Lock()
+	c.nextID++
+	id := fmt.Sprintf("c%06d", c.nextID)
+	c.mu.Unlock()
+	j := &routedJob{id: id, spec: spec, key: key}
+	if err := c.route(j); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.jobs[id] = j
+	c.mu.Unlock()
+	return id, nil
+}
+
+// route assigns j to the best live candidate and submits it there. Called
+// for initial submission and again (with j.reroutes incremented) when an
+// owner dies.
+func (c *Coordinator) route(j *routedJob) error {
+	spec := j.spec
+	spec.Origin = c.cfg.Self
+	for _, peer := range c.ring.Owners(j.key, c.ring.Len()) {
+		if peer == c.cfg.Self {
+			return c.routeLocal(j)
+		}
+		if !c.members.Alive(peer) {
+			continue
+		}
+		remoteID, err := c.forward(peer, spec)
+		if err != nil {
+			var se *statusError
+			if errors.As(err, &se) {
+				// The peer answered: this is an application error
+				// (backpressure, invalid spec, oversized trace), not a dead
+				// node. Propagate it.
+				return err
+			}
+			c.cForwardFailed.Inc()
+			c.peerCounter("forward_failed", peer).Inc()
+			c.members.ReportFailure(peer)
+			continue
+		}
+		j.mu.Lock()
+		j.peer, j.remoteID = peer, remoteID
+		j.lastInfo = service.Info{ID: j.id, Status: service.StatusQueued, Site: j.spec.Site, Criteria: j.spec.Criteria, Node: peer}
+		j.mu.Unlock()
+		c.cRouted.Inc()
+		c.peerCounter("routed", peer).Inc()
+		return nil
+	}
+	// No remote candidate took it: run it here.
+	c.cFallbacks.Inc()
+	return c.routeLocal(j)
+}
+
+func (c *Coordinator) routeLocal(j *routedJob) error {
+	localID, err := c.cfg.Local.Submit(j.spec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.peer, j.remoteID = "", localID
+	j.lastInfo = service.Info{ID: j.id, Status: service.StatusQueued, Site: j.spec.Site, Criteria: j.spec.Criteria, Node: c.cfg.Self}
+	j.mu.Unlock()
+	c.cLocal.Inc()
+	return nil
+}
+
+// statusError is a non-2xx response from a peer that was alive enough to
+// answer; it carries the peer's status code and error payload through to
+// the coordinator's own client.
+type statusError struct {
+	code       int
+	msg        string
+	retryAfter string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// Code returns the peer's HTTP status code.
+func (e *statusError) Code() int { return e.code }
+
+// RetryAfter returns the peer's Retry-After header value ("" if none).
+func (e *statusError) RetryAfter() string { return e.retryAfter }
+
+// forward submits spec to a peer over the existing single-node API and
+// returns the remote job id.
+func (c *Coordinator) forward(peer string, spec service.Spec) (string, error) {
+	var resp *http.Response
+	var err error
+	if len(spec.Trace) > 0 {
+		q := url.Values{}
+		if spec.Criteria != "" {
+			q.Set("criteria", spec.Criteria)
+		}
+		if spec.Verify {
+			q.Set("verify", "1")
+		}
+		if spec.Origin != "" {
+			q.Set("origin", spec.Origin)
+		}
+		resp, err = c.client.Post(peer+"/jobs/trace?"+q.Encode(), "application/octet-stream", bytes.NewReader(spec.Trace))
+	} else {
+		body, merr := json.Marshal(spec)
+		if merr != nil {
+			return "", merr
+		}
+		resp, err = c.client.Post(peer+"/jobs", "application/json", bytes.NewReader(body))
+	}
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		msg := fmt.Sprintf("cluster: %s: HTTP %d", peer, resp.StatusCode)
+		if json.Unmarshal(data, &out) == nil && out.Error != "" {
+			msg = out.Error
+		}
+		return "", &statusError{code: resp.StatusCode, msg: msg, retryAfter: resp.Header.Get("Retry-After")}
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return "", fmt.Errorf("cluster: %s: decoding submit response: %w", peer, err)
+	}
+	return out.ID, nil
+}
+
+// handleEvict re-routes every non-terminal job owned by the evicted peer.
+// Acked jobs survive a worker death the same way they survive a worker
+// panic: by being run again somewhere else.
+func (c *Coordinator) handleEvict(peer string) {
+	c.mu.Lock()
+	var pending []*routedJob
+	for _, j := range c.jobs {
+		j.mu.Lock()
+		// A job is lost with its worker unless its result already reached
+		// the coordinator. That includes jobs observed Done there: the
+		// result died with the node, so the job must run again. Jobs that
+		// terminally failed/canceled keep that outcome — re-running them
+		// would not change it.
+		stranded := j.result == nil && (!j.terminal || j.lastInfo.Status == service.StatusDone)
+		if j.peer == peer && stranded {
+			pending = append(pending, j)
+		}
+		j.mu.Unlock()
+	}
+	c.mu.Unlock()
+	for _, j := range pending {
+		j.mu.Lock()
+		j.reroutes++
+		j.terminal = false
+		j.mu.Unlock()
+		c.cRerouted.Inc()
+		c.peerCounter("rerouted_from", peer).Inc()
+		if err := c.route(j); err != nil {
+			// Every candidate (including local) refused — typically local
+			// backpressure. Surface it as a failed job rather than losing it
+			// silently.
+			j.mu.Lock()
+			j.lastInfo = service.Info{ID: j.id, Status: service.StatusFailed, Site: j.spec.Site,
+				Criteria: j.spec.Criteria, Error: fmt.Sprintf("re-route after %s died: %v", peer, err)}
+			j.terminal = true
+			j.mu.Unlock()
+		}
+	}
+}
+
+// lookup finds a routed job.
+func (c *Coordinator) lookup(id string) (*routedJob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Status returns a job snapshot under the coordinator's id, with the
+// executing node as the owner hint. While the owner is unreachable the
+// last observed snapshot is served; the job itself is re-routed when the
+// membership evicts the owner.
+func (c *Coordinator) Status(id string) (service.Info, error) {
+	j, ok := c.lookup(id)
+	if !ok {
+		return service.Info{}, ErrUnknownJob
+	}
+	j.mu.Lock()
+	peer, remoteID := j.peer, j.remoteID
+	last := j.lastInfo
+	j.mu.Unlock()
+	if peer == "" {
+		info, ok := c.cfg.Local.Info(remoteID)
+		if !ok {
+			return service.Info{}, ErrUnknownJob
+		}
+		return c.publishInfo(j, info, c.cfg.Self), nil
+	}
+	info, err := c.fetchInfo(peer, remoteID)
+	if err != nil {
+		c.members.ReportFailure(peer)
+		return last, nil // stale-but-available; eviction will re-route
+	}
+	return c.publishInfo(j, info, peer), nil
+}
+
+// publishInfo rewrites a node-local snapshot into the coordinator's
+// namespace and records it as the job's freshest view.
+func (c *Coordinator) publishInfo(j *routedJob, info service.Info, node string) service.Info {
+	info.ID = j.id
+	if info.Node == "" {
+		info.Node = node
+	}
+	j.mu.Lock()
+	info.Reroutes = j.reroutes
+	j.lastInfo = info
+	if info.Status.Terminal() {
+		j.terminal = true
+	}
+	j.mu.Unlock()
+	return info
+}
+
+func (c *Coordinator) fetchInfo(peer, remoteID string) (service.Info, error) {
+	resp, err := c.client.Get(peer + "/jobs/" + remoteID)
+	if err != nil {
+		return service.Info{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return service.Info{}, fmt.Errorf("cluster: %s: status HTTP %d", peer, resp.StatusCode)
+	}
+	var info service.Info
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return service.Info{}, err
+	}
+	return info, nil
+}
+
+// Result returns a finished job's result. The first successful fetch is
+// cached on the coordinator, so the result survives the worker dying
+// afterwards; a worker dying *before* the fetch re-routes the job and the
+// result is recomputed (deterministically, usually as a store hit on
+// re-render). ok is false while the job is not done.
+func (c *Coordinator) Result(id string) (*service.Result, bool, error) {
+	j, ok := c.lookup(id)
+	if !ok {
+		return nil, false, ErrUnknownJob
+	}
+	j.mu.Lock()
+	if j.result != nil {
+		res := j.result
+		j.mu.Unlock()
+		return res, true, nil
+	}
+	peer, remoteID := j.peer, j.remoteID
+	j.mu.Unlock()
+	var res *service.Result
+	if peer == "" {
+		res, ok = c.cfg.Local.Result(remoteID)
+		if !ok {
+			return nil, false, nil
+		}
+	} else {
+		var err error
+		res, err = c.fetchResult(peer, remoteID)
+		if err != nil {
+			c.members.ReportFailure(peer)
+			return nil, false, nil
+		}
+		if res == nil {
+			return nil, false, nil
+		}
+	}
+	j.mu.Lock()
+	j.result = res
+	j.terminal = true
+	count := res.CacheHit && !j.affinityCounted
+	j.affinityCounted = true
+	j.mu.Unlock()
+	if count {
+		// The ring sent this key to a node that already held its
+		// artifacts: the affinity scheduler did its job.
+		c.cAffinity.Inc()
+	}
+	return res, true, nil
+}
+
+// fetchResult returns (nil, nil) when the job is simply not done yet.
+func (c *Coordinator) fetchResult(peer, remoteID string) (*service.Result, error) {
+	resp, err := c.client.Get(peer + "/jobs/" + remoteID + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res service.Result
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&res); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	case http.StatusConflict: // known but not done
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: %s: result HTTP %d", peer, resp.StatusCode)
+	}
+}
+
+// Cancel cancels a job wherever it runs.
+func (c *Coordinator) Cancel(id string) bool {
+	j, ok := c.lookup(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	peer, remoteID := j.peer, j.remoteID
+	j.mu.Unlock()
+	if peer == "" {
+		return c.cfg.Local.Cancel(remoteID)
+	}
+	req, err := http.NewRequest(http.MethodDelete, peer+"/jobs/"+remoteID, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.members.ReportFailure(peer)
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// Jobs snapshots every admitted job, sorted by id.
+func (c *Coordinator) Jobs() []service.Info {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.jobs))
+	for id := range c.jobs {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]service.Info, 0, len(ids))
+	for _, id := range ids {
+		if info, err := c.Status(id); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}

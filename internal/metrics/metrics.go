@@ -1,7 +1,8 @@
 // Package metrics is the lightweight instrumentation layer of the slicing
 // service: atomic counters and gauges plus fixed-bucket histograms with
 // percentile estimation, collected in a named registry that renders a
-// deterministic text exposition for the /metrics endpoint. It is
+// deterministic Prometheus text exposition (format version 0.0.4) for the
+// /metrics endpoint. It is
 // dependency-free on purpose — the service, the store, and the daemon all
 // publish through it without pulling in an external metrics stack.
 package metrics
@@ -10,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -94,6 +96,22 @@ func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.sum
+}
+
+// snapshot returns the bucket bounds with their *cumulative* counts (the
+// Prometheus _bucket convention: each count includes every bucket below
+// it), plus the sum and total count, all under one lock acquisition.
+func (h *Histogram) snapshot() (bounds []float64, cum []int64, sum float64, n int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	cum = make([]int64, len(h.bounds))
+	var running int64
+	for i := range h.bounds {
+		running += h.counts[i]
+		cum[i] = running
+	}
+	return bounds, cum, h.sum, h.n
 }
 
 // Quantile estimates the q-th quantile (0 < q <= 1). With no samples it
@@ -194,30 +212,90 @@ func (r *Registry) Func(name string, f func() int64) {
 	r.funcs[name] = f
 }
 
-// WriteText renders every metric as "name value" lines sorted by name.
-// Histograms expand to _count, _sum, _p50, _p90, _p99 series.
+// ContentType is the Content-Type for WriteText output: Prometheus text
+// exposition format, version 0.0.4.
+const ContentType = "text/plain; version=0.0.4"
+
+// SanitizeName maps an arbitrary string onto a valid Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*): every invalid character becomes '_',
+// and a leading digit is prefixed with '_'. Used both at exposition time
+// and by callers deriving metric names from free-form strings (peer URLs).
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatLe renders a bucket upper bound for the le label.
+func formatLe(bound float64) string {
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): each metric family gets a `# TYPE` line followed by its
+// samples, families sorted by (sanitized) name so the output is
+// deterministic. Counters and gauges are single samples; Func callbacks
+// export as gauges; histograms expand to cumulative `_bucket{le="..."}`
+// series (ending at le="+Inf"), `_sum`, and `_count`.
 func (r *Registry) WriteText(w io.Writer) error {
+	type family struct {
+		name  string
+		typ   string
+		lines []string
+	}
 	r.mu.Lock()
-	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+5*len(r.hists))
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+len(r.hists))
 	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, c.Value()))
+		n := SanitizeName(name)
+		fams = append(fams, family{n, "counter", []string{fmt.Sprintf("%s %d", n, c.Value())}})
 	}
 	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("%s %d", name, g.Value()))
+		n := SanitizeName(name)
+		fams = append(fams, family{n, "gauge", []string{fmt.Sprintf("%s %d", n, g.Value())}})
 	}
 	for name, f := range r.funcs {
-		lines = append(lines, fmt.Sprintf("%s %d", name, f()))
+		n := SanitizeName(name)
+		fams = append(fams, family{n, "gauge", []string{fmt.Sprintf("%s %d", n, f())}})
 	}
 	for name, h := range r.hists {
+		n := SanitizeName(name)
+		bounds, cum, sum, count := h.snapshot()
+		lines := make([]string, 0, len(bounds)+3)
+		for i, b := range bounds {
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", n, formatLe(b), cum[i]))
+		}
 		lines = append(lines,
-			fmt.Sprintf("%s_count %d", name, h.Count()),
-			fmt.Sprintf("%s_sum %.3f", name, h.Sum()),
-			fmt.Sprintf("%s_p50 %.3f", name, h.Quantile(0.50)),
-			fmt.Sprintf("%s_p90 %.3f", name, h.Quantile(0.90)),
-			fmt.Sprintf("%s_p99 %.3f", name, h.Quantile(0.99)))
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, count),
+			fmt.Sprintf("%s_sum %.3f", n, sum),
+			fmt.Sprintf("%s_count %d", n, count))
+		fams = append(fams, family{n, "histogram", lines})
 	}
 	r.mu.Unlock()
-	sort.Strings(lines)
-	_, err := io.WriteString(w, strings.Join(lines, "\n")+"\n")
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	var sb strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, l := range f.lines {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
 	return err
 }

@@ -89,13 +89,68 @@ func TestWriteTextDeterministic(t *testing.T) {
 		t.Fatal("two expositions of the same registry differ")
 	}
 	out := sb1.String()
-	for _, want := range []string{"a_gauge 7", "b_counter 2", "c_func 42", "lat_ms_count 1", "lat_ms_p50"} {
+	for _, want := range []string{
+		"# TYPE a_gauge gauge", "a_gauge 7",
+		"# TYPE b_counter counter", "b_counter 2",
+		"# TYPE c_func gauge", "c_func 42",
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{le="1"} 0`,
+		`lat_ms_bucket{le="5"} 1`,
+		`lat_ms_bucket{le="+Inf"} 1`,
+		"lat_ms_sum 3.000", "lat_ms_count 1",
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, out)
 		}
 	}
-	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if !sort.StringsAreSorted(lines) {
-		t.Fatalf("exposition lines not sorted:\n%s", out)
+	// Families come out sorted by name.
+	var families []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Fatalf("families not sorted: %v", families)
+	}
+}
+
+func TestWriteTextPrometheusShape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(100) // overflow bucket
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Bucket counts are cumulative and +Inf equals the total count.
+	for _, want := range []string{
+		`h_bucket{le="10"} 1`,
+		`h_bucket{le="20"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		"h_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"jobs_done":              "jobs_done",
+		"http://127.0.0.1:8078":  "http:__127_0_0_1:8078",
+		"9lives":                 "_9lives",
+		"":                       "_",
+		"a-b.c d":                "a_b_c_d",
+		"already:colons_allowed": "already:colons_allowed",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -10,6 +10,11 @@ type Clock interface {
 	Sleep(d time.Duration, stop <-chan struct{})
 }
 
+// SystemClock is the production Clock, shared by everything that wants
+// injectable time (the manager's retry backoff, the cluster's health
+// probes, the client's poll loop).
+var SystemClock Clock = realClock{}
+
 // realClock is the production Clock.
 type realClock struct{}
 

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"sort"
+
+	"webslice/internal/metrics"
 )
 
 // maxTraceBody bounds an uploaded binary trace (256 MB).
@@ -52,6 +54,7 @@ func NewHandler(m *Manager) http.Handler {
 			Trace:    body,
 			Criteria: r.URL.Query().Get("criteria"),
 			Verify:   r.URL.Query().Get("verify") == "1" || r.URL.Query().Get("verify") == "true",
+			Origin:   r.URL.Query().Get("origin"),
 		})
 	})
 
@@ -111,7 +114,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Type", metrics.ContentType)
 		m.Metrics().WriteText(w)
 	})
 

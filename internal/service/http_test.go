@@ -363,13 +363,14 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	body, _ := io.ReadAll(r.Body)
 	r.Body.Close()
 	text := string(body)
-	for _, want := range []string{"jobs_submitted 1", "jobs_done 1", "queue_wait_ms_count 1", "slice_ms_p50"} {
+	for _, want := range []string{"jobs_submitted 1", "jobs_done 1", "queue_wait_ms_count 1",
+		"# TYPE jobs_submitted counter", "# TYPE slice_ms histogram", `slice_ms_bucket{le="+Inf"} 1`} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
 		}
 	}
-	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Fatalf("metrics content type = %q", ct)
+	if ct := r.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("metrics content type = %q, want the Prometheus 0.0.4 exposition type", ct)
 	}
 }
 

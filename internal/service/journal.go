@@ -69,10 +69,12 @@ type JournalEntry struct {
 // journal carries it explicitly (encoding/json renders []byte as base64).
 type journalSpec struct {
 	Site     string  `json:"site,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
 	Scale    float64 `json:"scale,omitempty"`
 	Criteria string  `json:"criteria,omitempty"`
 	Verify   bool    `json:"verify,omitempty"`
 	Trace    []byte  `json:"trace,omitempty"`
+	Origin   string  `json:"origin,omitempty"`
 }
 
 type submitRecord struct {
@@ -129,10 +131,12 @@ func OpenJournal(path string) (*Journal, []JournalEntry, error) {
 		}
 		entries = append(entries, JournalEntry{ID: id, Spec: Spec{
 			Site:     rec.Spec.Site,
+			Seed:     rec.Spec.Seed,
 			Scale:    rec.Spec.Scale,
 			Criteria: rec.Spec.Criteria,
 			Verify:   rec.Spec.Verify,
 			Trace:    rec.Spec.Trace,
+			Origin:   rec.Spec.Origin,
 		}})
 	}
 	// Compact on open: the rewritten file holds only the pending records
@@ -258,10 +262,12 @@ func (j *Journal) dropPending(id string) {
 func (j *Journal) LogSubmit(id string, spec Spec) error {
 	payload, err := json.Marshal(submitRecord{ID: id, Spec: journalSpec{
 		Site:     spec.Site,
+		Seed:     spec.Seed,
 		Scale:    spec.Scale,
 		Criteria: spec.Criteria,
 		Verify:   spec.Verify,
 		Trace:    spec.Trace,
+		Origin:   spec.Origin,
 	}})
 	if err != nil {
 		return fmt.Errorf("service: journaling submit: %w", err)

@@ -23,6 +23,8 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +48,9 @@ import (
 type Spec struct {
 	// Site is a benchmark name (sites.ByName). Ignored when Trace is set.
 	Site string `json:"site,omitempty"`
+	// Seed, when non-zero and Site is empty, renders the property-generated
+	// mini-site sites.Random(Seed) instead of a named benchmark.
+	Seed uint64 `json:"seed,omitempty"`
 	// Scale is the workload scale for rendered sites; 0 means 1.0.
 	Scale float64 `json:"scale,omitempty"`
 	// Criteria selects the slicing criterion: "pixels" (default) or
@@ -57,6 +62,10 @@ type Spec struct {
 	Verify bool `json:"verify,omitempty"`
 	// Trace is a binary WSLT trace to slice instead of rendering a site.
 	Trace []byte `json:"-"`
+	// Origin is forwarded-job provenance: the advertised URL of the
+	// cluster coordinator that routed this job here (empty for jobs
+	// submitted directly to this node). Informational only.
+	Origin string `json:"origin,omitempty"`
 }
 
 // Status is a job's lifecycle state.
@@ -86,26 +95,44 @@ type ThreadStat struct {
 
 // Result is what a finished job reports.
 type Result struct {
-	TraceKey   string             `json:"trace_key,omitempty"`
-	Criteria   string             `json:"criteria"`
-	Total      int                `json:"total_instructions"`
-	SliceCount int                `json:"slice_instructions"`
-	SlicePct   float64            `json:"slice_pct"`
-	CacheHit   bool               `json:"cache_hit"`
-	Verified   bool               `json:"verified,omitempty"`
-	Threads    []ThreadStat       `json:"threads,omitempty"`
-	Categories map[string]float64 `json:"categories,omitempty"`
+	TraceKey string `json:"trace_key,omitempty"`
+	// SliceDigest is the hex SHA-256 of the slice's canonical store
+	// encoding with progress samples stripped, so it is comparable across
+	// progress-sampling configurations — and equal to the digests
+	// `webslice verify -exp golden` pins in examples/golden/corpus.json.
+	// The cluster harness uses it to prove single-node and multi-node runs
+	// produce byte-identical slices.
+	SliceDigest string             `json:"slice_digest,omitempty"`
+	Criteria    string             `json:"criteria"`
+	Total       int                `json:"total_instructions"`
+	SliceCount  int                `json:"slice_instructions"`
+	SlicePct    float64            `json:"slice_pct"`
+	CacheHit    bool               `json:"cache_hit"`
+	Verified    bool               `json:"verified,omitempty"`
+	Threads     []ThreadStat       `json:"threads,omitempty"`
+	Categories  map[string]float64 `json:"categories,omitempty"`
 }
 
 // Info is a point-in-time snapshot of a job.
 type Info struct {
-	ID       string  `json:"id"`
-	Status   Status  `json:"status"`
-	Site     string  `json:"site,omitempty"`
-	Criteria string  `json:"criteria"`
-	Error    string  `json:"error,omitempty"`
-	CacheHit bool    `json:"cache_hit"`
-	Attempts int     `json:"attempts,omitempty"`
+	ID       string `json:"id"`
+	Status   Status `json:"status"`
+	Site     string `json:"site,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Criteria string `json:"criteria"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	Attempts int    `json:"attempts,omitempty"`
+	// Node is the owner hint: the advertised URL of the node executing
+	// (or that executed) this job. Set from Config.Node; a cluster
+	// coordinator fills it in when proxying a worker that did not
+	// advertise one.
+	Node string `json:"node,omitempty"`
+	// Origin is the coordinator that forwarded this job here, if any.
+	Origin string `json:"origin,omitempty"`
+	// Reroutes counts how many times a cluster coordinator moved this job
+	// to a new owner after a worker death (always 0 on a single node).
+	Reroutes int     `json:"reroutes,omitempty"`
 	QueueMs  float64 `json:"queue_ms"`
 	RunMs    float64 `json:"run_ms"`
 }
@@ -196,6 +223,10 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Runner overrides the job execution pipeline (tests, other backends).
 	Runner Runner
+	// Node is this node's advertised URL in a cluster (websliced -node);
+	// it is surfaced as the owner hint in every job Info. Empty for a
+	// standalone daemon.
+	Node string
 
 	// Journal, when set, is the write-ahead log making submissions durable.
 	// Pass the entries OpenJournal replayed via Resume to re-enqueue the
@@ -445,6 +476,10 @@ func (m *Manager) validate(spec *Spec) error {
 		}
 		return nil
 	}
+	if spec.Site == "" && spec.Seed != 0 {
+		// Property-generated mini-site: fixed-size, so Scale is ignored.
+		return nil
+	}
 	switch {
 	case spec.Scale == 0:
 		spec.Scale = 1.0
@@ -470,9 +505,12 @@ func (m *Manager) Info(id string) (Info, bool) {
 		ID:       j.id,
 		Status:   j.status,
 		Site:     j.spec.Site,
+		Seed:     j.spec.Seed,
 		Criteria: j.spec.Criteria,
 		Error:    j.err,
 		Attempts: j.attempts,
+		Node:     m.cfg.Node,
+		Origin:   j.spec.Origin,
 	}
 	if j.result != nil {
 		info.CacheHit = j.result.CacheHit
@@ -834,14 +872,15 @@ func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, ErrCanceled
 	}
 	out := &Result{
-		TraceKey:   key,
-		Criteria:   res.Criteria,
-		Total:      res.Total,
-		SliceCount: res.SliceCount,
-		SlicePct:   res.Percent(),
-		CacheHit:   hit,
-		Verified:   verify,
-		Categories: make(map[string]float64, len(analysis.Categories)),
+		TraceKey:    key,
+		SliceDigest: sliceDigest(res),
+		Criteria:    res.Criteria,
+		Total:       res.Total,
+		SliceCount:  res.SliceCount,
+		SlicePct:    res.Percent(),
+		CacheHit:    hit,
+		Verified:    verify,
+		Categories:  make(map[string]float64, len(analysis.Categories)),
 	}
 	for _, th := range t.Threads {
 		out.Threads = append(out.Threads, ThreadStat{
@@ -858,6 +897,18 @@ func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 	return out, nil
 }
 
+// sliceDigest is the canonical content digest of a slice: hex SHA-256 over
+// the store's deterministic encoding with the progress-curve samples
+// stripped, so the digest depends only on what is in the slice, not on the
+// ProgressPoints sampling knob. It therefore matches the digests pinned by
+// `webslice verify -exp golden` (which slices with sampling off).
+func sliceDigest(r *slicer.Result) string {
+	c := *r
+	c.Progress = nil
+	sum := sha256.Sum256(store.EncodeResult(&c))
+	return hex.EncodeToString(sum[:])
+}
+
 func obtainTrace(spec Spec) (*trace.Trace, error) {
 	if len(spec.Trace) > 0 {
 		t, err := trace.Read(bytes.NewReader(spec.Trace))
@@ -866,9 +917,15 @@ func obtainTrace(spec Spec) (*trace.Trace, error) {
 		}
 		return t, nil
 	}
-	b, err := sites.ByName(spec.Site, sites.Options{Scale: spec.Scale})
-	if err != nil {
-		return nil, err
+	var b sites.Benchmark
+	if spec.Site == "" && spec.Seed != 0 {
+		b = sites.Random(spec.Seed)
+	} else {
+		var err error
+		b, err = sites.ByName(spec.Site, sites.Options{Scale: spec.Scale})
+		if err != nil {
+			return nil, err
+		}
 	}
 	br := browser.New(b.Site, b.Profile)
 	if b.Faults != nil {

@@ -19,6 +19,11 @@ const BenchFile = "BENCH_repro.json"
 // value the run was invoked with (0 = GOMAXPROCS) and GoMaxProcs the
 // resolved parallelism, so recorded wall times can be compared across
 // machines and pool sizes.
+//
+// Schema 2 added the "backward" experiment (sequential vs segmented
+// backward-pass wall time) and per-pass slice timing fields on the
+// render+slice rows: slice_scan_ms, slice_stitch_ms, slice_tally_ms,
+// slice_segments.
 type BenchDoc struct {
 	Schema      int               `json:"schema"`
 	Scale       float64           `json:"scale"`
@@ -53,7 +58,7 @@ type benchRecorder struct {
 
 func newBenchRecorder(scale float64, workers int) *benchRecorder {
 	return &benchRecorder{
-		doc:   BenchDoc{Schema: 1, Scale: scale, Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0)},
+		doc:   BenchDoc{Schema: 2, Scale: scale, Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0)},
 		start: time.Now(),
 	}
 }

@@ -228,6 +228,11 @@ type Config struct {
 	// standalone daemon.
 	Node string
 
+	// SliceWorkers bounds the segmented backward pass's parallelism per
+	// job (slicer.Options.Workers); <= 0 means GOMAXPROCS. Distinct from
+	// Workers, which bounds how many jobs run at once.
+	SliceWorkers int
+
 	// Journal, when set, is the write-ahead log making submissions durable.
 	// Pass the entries OpenJournal replayed via Resume to re-enqueue the
 	// previous process's unfinished work.
@@ -300,6 +305,12 @@ type Manager struct {
 	mRetried, mPanicked, mQuarantined                *metrics.Counter
 	gRunning, gPeak, gQueueDepth                     *metrics.Gauge
 	hQueueWait, hRun                                 *metrics.Histogram
+
+	// Backward-pass phase timings and segment counts of fresh (non-cached)
+	// slice computations; sequential passes observe their whole walk as
+	// scan with slice_segments = 1.
+	hScan, hStitch, hTally *metrics.Histogram
+	gSegments              *metrics.Gauge
 }
 
 // New starts a manager and its workers. Journal entries passed via
@@ -345,6 +356,10 @@ func New(cfg Config) *Manager {
 		gQueueDepth:  reg.Gauge("queue_depth"),
 		hQueueWait:   reg.Histogram("queue_wait_ms", metrics.LatencyBuckets),
 		hRun:         reg.Histogram("slice_ms", metrics.LatencyBuckets),
+		hScan:        reg.Histogram("slice_scan_ms", metrics.LatencyBuckets),
+		hStitch:      reg.Histogram("slice_stitch_ms", metrics.LatencyBuckets),
+		hTally:       reg.Histogram("slice_tally_ms", metrics.LatencyBuckets),
+		gSegments:    reg.Gauge("slice_segments"),
 	}
 	if cfg.Runner == nil {
 		m.cfg.Runner = m.run
@@ -837,6 +852,9 @@ func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 	p.Opts.ProgressPoints = 160
 	p.Opts.MainThread = browser.MainThread
 	p.Opts.Canceled = func() bool { return ctx.Err() != nil }
+	p.Opts.Workers = m.cfg.SliceWorkers
+	var passStats slicer.PassStats
+	p.Opts.Stats = &passStats
 	key := ""
 	if m.cfg.Store != nil {
 		if err := p.UseStore(m.cfg.Store); err != nil {
@@ -856,6 +874,14 @@ func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 			return nil, ErrCanceled
 		}
 		return nil, err
+	}
+	if !hit {
+		// Phase timings exist only when the backward pass actually ran;
+		// cache hits would observe zeros and skew the histograms.
+		m.hScan.Observe(passStats.ScanMs)
+		m.hStitch.Observe(passStats.StitchMs)
+		m.hTally.Observe(passStats.TallyMs)
+		m.gSegments.Set(int64(passStats.Segments))
 	}
 	if verify && hit {
 		// Fresh computations were verified inside SliceCached; a cached

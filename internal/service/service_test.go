@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"webslice/internal/browser"
+	"webslice/internal/metrics"
 	"webslice/internal/sites"
 	"webslice/internal/store"
 )
@@ -261,6 +262,15 @@ func TestConcurrentSiteJobsWithCache(t *testing.T) {
 	}
 	if peak := m.Metrics().Gauge("jobs_running_peak").Value(); peak < 2 {
 		t.Fatalf("jobs_running_peak = %d, want >= 2 (pool did not overlap)", peak)
+	}
+	// Fresh computes surface the backward pass's phase breakdown: every
+	// non-cached job observed its scan time and the last one recorded its
+	// segment count (1 on the sequential path).
+	if n := m.Metrics().Histogram("slice_scan_ms", metrics.LatencyBuckets).Count(); n != int64(len(specs)) {
+		t.Fatalf("slice_scan_ms observed %d passes, want %d", n, len(specs))
+	}
+	if segs := m.Metrics().Gauge("slice_segments").Value(); segs < 1 {
+		t.Fatalf("slice_segments = %d, want >= 1", segs)
 	}
 	for i, res := range results {
 		if res.CacheHit {

@@ -107,3 +107,74 @@ func BenchmarkTwoCriteria(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSliceSequential / BenchmarkSliceSegmented are the benchstat
+// pair for the parallel backward pass: identical workload and criteria,
+// scheduling forced sequential vs forced segmented. Compare with
+//
+//	go test -bench 'SliceSe(quential|gmented)' -count 10 | benchstat -
+func BenchmarkSliceSequential(b *testing.B) {
+	m := benchWorkload(4096)
+	deps := benchDeps(b, m)
+	cs := []Criteria{PixelCriteria{}, SyscallCriteria{}}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(m.Tr.Recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SliceMulti(m.Tr, deps, cs, Options{Segments: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSliceSegmented(b *testing.B) {
+	m := benchWorkload(4096)
+	deps := benchDeps(b, m)
+	cs := []Criteria{PixelCriteria{}, SyscallCriteria{}}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(m.Tr.Recs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SliceMulti(m.Tr, deps, cs, Options{Segments: defaultWorkers() * segmentsPerWorker}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverlaps measures the splitRange early-exit in the Overlaps
+// probes: a query over a large pixel buffer whose very first word is live
+// should cost O(1), not a full walk of the range.
+func BenchmarkOverlaps(b *testing.B) {
+	const bufSize = 1 << 20 // a 1 MiB framebuffer
+	full := vmem.Range{Addr: 0, Size: bufSize}
+	b.Run("wordset/hit-first", func(b *testing.B) {
+		s := NewWordSet()
+		s.Add(vmem.Range{Addr: 0, Size: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !s.Overlaps(full) {
+				b.Fatal("expected overlap")
+			}
+		}
+	})
+	b.Run("wordset/miss", func(b *testing.B) {
+		s := NewWordSet()
+		s.Add(vmem.Range{Addr: bufSize + 64, Size: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.Overlaps(full) {
+				b.Fatal("unexpected overlap")
+			}
+		}
+	})
+	b.Run("pageset/hit-first", func(b *testing.B) {
+		s := NewPageSet()
+		s.Add(vmem.Range{Addr: 0, Size: 8})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !s.Overlaps(full) {
+				b.Fatal("expected overlap")
+			}
+		}
+	})
+}

@@ -12,18 +12,23 @@ func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
 // Get reports bit i.
 func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-// bitsetGrow is a growable bitset keyed by register ID, with destructive
-// test-and-clear: the live-register set of the liveness analysis. Registers
-// are SSA (written once), so Kill at the defining instruction both answers
-// "was this value needed?" and retires the register.
-type bitsetGrow struct {
+// regSet is the live-register set of the liveness analysis: a dense bitset
+// keyed by register ID with destructive test-and-clear. Registers are SSA
+// (written once), so Kill at the defining instruction both answers "was this
+// value needed?" and retires the register.
+//
+// The set is presized to the trace's maximum register ID before the walk
+// (see maxRegOf), so the hot loop never grows it; Set still grows on demand
+// as a safety net for presize caps on adversarial traces. Instances are
+// pooled across segments and across service jobs — the parallel segment
+// pass multiplies the number of live sets by the segment count, and
+// re-zeroing a pooled array is far cheaper than allocating it.
+type regSet struct {
 	words []uint64
 }
 
-func newBitsetGrow() *bitsetGrow { return &bitsetGrow{} }
-
 // Set marks register id live.
-func (b *bitsetGrow) Set(id uint32) {
+func (b *regSet) Set(id uint32) {
 	w := int(id >> 6)
 	if w >= len(b.words) {
 		grown := make([]uint64, w+w/2+1)
@@ -34,13 +39,13 @@ func (b *bitsetGrow) Set(id uint32) {
 }
 
 // Get reports whether register id is live.
-func (b *bitsetGrow) Get(id uint32) bool {
+func (b *regSet) Get(id uint32) bool {
 	w := int(id >> 6)
 	return w < len(b.words) && b.words[w]&(1<<(id&63)) != 0
 }
 
 // Kill clears register id and reports whether it was live.
-func (b *bitsetGrow) Kill(id uint32) bool {
+func (b *regSet) Kill(id uint32) bool {
 	w := int(id >> 6)
 	if w >= len(b.words) {
 		return false
@@ -49,4 +54,36 @@ func (b *bitsetGrow) Kill(id uint32) bool {
 	was := b.words[w]&mask != 0
 	b.words[w] &^= mask
 	return was
+}
+
+// orFrom unions src into b, growing b if src is larger.
+func (b *regSet) orFrom(src *regSet) {
+	if len(src.words) > len(b.words) {
+		grown := make([]uint64, len(src.words))
+		copy(grown, b.words)
+		b.words = grown
+	}
+	for i, w := range src.words {
+		b.words[i] |= w
+	}
+}
+
+// presize ensures capacity for register IDs up to maxID without hot-loop
+// growth, capped at capBits so a hostile trace naming astronomical register
+// IDs cannot force a giant upfront allocation (Set still grows lazily past
+// the cap, exactly as an unsized set would).
+func (b *regSet) presize(maxID uint32, capBits int) {
+	bits := int(maxID) + 1
+	if bits > capBits {
+		bits = capBits
+	}
+	w := (bits + 63) / 64
+	if w > len(b.words) {
+		b.words = make([]uint64, w)
+	}
+}
+
+// reset zeroes the set for reuse, keeping its capacity.
+func (b *regSet) reset() {
+	clear(b.words)
 }

@@ -9,6 +9,7 @@ package slicer
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"webslice/internal/cdg"
@@ -98,6 +99,56 @@ func FuzzSliceNeverPanics(f *testing.F) {
 				if r.SliceCount > r.Total {
 					t.Fatalf("fused slice of %d records from a trace of %d", r.SliceCount, r.Total)
 				}
+			}
+		}
+	})
+}
+
+// FuzzSegmentedAgreesWithSlice is the differential fuzz target for the
+// segmented backward pass: for any decodable trace, a forced-segmented
+// SliceMulti must produce exactly the sequential result — same error, same
+// bytes in every Result field.
+func FuzzSegmentedAgreesWithSlice(f *testing.F) {
+	m := multiWorkload()
+	var buf bytes.Buffer
+	if err := m.Tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	enc := buf.Bytes()
+	f.Add(enc, byte(0))
+	f.Add(enc[:len(enc)*2/3], byte(7))
+	f.Add([]byte("WSLT not really"), byte(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, sel byte) {
+		tr, err := trace.Read(bytes.NewReader(data))
+		if err != nil || !sliceable(tr) {
+			return
+		}
+		var deps *cdg.Deps
+		opts := Options{MainThread: sel >> 4, ProgressPoints: int(sel % 5 * 3)}
+		if forest, err := cfg.Build(tr); err == nil {
+			deps = cdg.Compute(forest)
+		} else {
+			opts.NoControlDeps = true
+		}
+		cs := []Criteria{PixelCriteria{}, Union{PixelCriteria{}, SyscallCriteria{}}}
+		seqOpts := opts
+		seqOpts.Segments = 1
+		want, seqErr := SliceMulti(tr, deps, cs, seqOpts)
+		segOpts := opts
+		segOpts.Segments = 2 + int(sel%7)
+		segOpts.Workers = 1 + int(sel%4)
+		got, segErr := SliceMulti(tr, deps, cs, segOpts)
+		if (seqErr == nil) != (segErr == nil) {
+			t.Fatalf("error mismatch: sequential %v, segmented %v", seqErr, segErr)
+		}
+		if seqErr != nil {
+			return
+		}
+		for k := range cs {
+			if !reflect.DeepEqual(want[k], got[k]) {
+				t.Fatalf("criterion %s (k=%d w=%d): segmented result differs\nseq: %+v\nseg: %+v",
+					cs[k].Name(), segOpts.Segments, segOpts.Workers, want[k], got[k])
 			}
 		}
 	})

@@ -35,7 +35,11 @@ func NewWordSet() *WordSet {
 	return &WordSet{words: make(map[uint32]uint64)}
 }
 
-func splitRange(r vmem.Range, f func(word uint32, mask uint64)) {
+// splitRange decomposes a byte range into 64-byte-aligned words and masks.
+// The callback reports whether to keep going: returning false stops the
+// walk immediately, so probes like Overlaps can bail at the first live word
+// instead of visiting every word of a multi-kilobyte pixel-buffer range.
+func splitRange(r vmem.Range, f func(word uint32, mask uint64) bool) {
 	if r.Size == 0 {
 		return
 	}
@@ -52,30 +56,33 @@ func splitRange(r vmem.Range, f func(word uint32, mask uint64)) {
 		if hi-lo < 64 {
 			mask = ((uint64(1) << (hi - lo)) - 1) << lo
 		}
-		f(word, mask)
+		if !f(word, mask) {
+			return
+		}
 		a = word<<6 + 64
 	}
 }
 
 // Add implements LiveMem.
 func (s *WordSet) Add(r vmem.Range) {
-	splitRange(r, func(w uint32, mask uint64) {
+	splitRange(r, func(w uint32, mask uint64) bool {
 		old := s.words[w]
 		nw := old | mask
 		if nw != old {
 			s.count += popcount(nw) - popcount(old)
 			s.words[w] = nw
 		}
+		return true
 	})
 }
 
 // Kill implements LiveMem.
 func (s *WordSet) Kill(r vmem.Range) bool {
 	hit := false
-	splitRange(r, func(w uint32, mask uint64) {
+	splitRange(r, func(w uint32, mask uint64) bool {
 		old, ok := s.words[w]
 		if !ok {
-			return
+			return true
 		}
 		if old&mask != 0 {
 			hit = true
@@ -89,6 +96,7 @@ func (s *WordSet) Kill(r vmem.Range) bool {
 				s.words[w] = nw
 			}
 		}
+		return true
 	})
 	return hit
 }
@@ -96,16 +104,38 @@ func (s *WordSet) Kill(r vmem.Range) bool {
 // Overlaps implements LiveMem.
 func (s *WordSet) Overlaps(r vmem.Range) bool {
 	found := false
-	splitRange(r, func(w uint32, mask uint64) {
-		if !found && s.words[w]&mask != 0 {
+	splitRange(r, func(w uint32, mask uint64) bool {
+		if s.words[w]&mask != 0 {
 			found = true
+			return false
 		}
+		return true
 	})
 	return found
 }
 
 // Count implements LiveMem.
 func (s *WordSet) Count() int { return s.count }
+
+// mergeFrom unions another WordSet into s. The stitch of the segmented
+// backward pass uses it to fold each segment's locally generated liveness
+// into the delta state flowing toward earlier segments.
+func (s *WordSet) mergeFrom(src *WordSet) {
+	for w, m := range src.words {
+		old := s.words[w]
+		nw := old | m
+		if nw != old {
+			s.count += popcount(nw) - popcount(old)
+			s.words[w] = nw
+		}
+	}
+}
+
+// reset empties the set for reuse, keeping the map's allocated buckets.
+func (s *WordSet) reset() {
+	clear(s.words)
+	s.count = 0
+}
 
 // PageSet is an alternative LiveMem keeping one bitmap per 4 KiB page. It
 // trades memory for fewer map probes on dense footprints (pixel buffers);
@@ -127,7 +157,7 @@ func NewPageSet() *PageSet {
 
 // Add implements LiveMem.
 func (s *PageSet) Add(r vmem.Range) {
-	splitRange(r, func(w uint32, mask uint64) {
+	splitRange(r, func(w uint32, mask uint64) bool {
 		page := w >> 6 // 64 words of 64 bytes = 4096 bytes
 		pb := s.pages[page]
 		if pb == nil {
@@ -143,16 +173,17 @@ func (s *PageSet) Add(r vmem.Range) {
 			pb.live += d
 			s.count += d
 		}
+		return true
 	})
 }
 
 // Kill implements LiveMem.
 func (s *PageSet) Kill(r vmem.Range) bool {
 	hit := false
-	splitRange(r, func(w uint32, mask uint64) {
+	splitRange(r, func(w uint32, mask uint64) bool {
 		pb := s.pages[w>>6]
 		if pb == nil {
-			return
+			return true
 		}
 		slot := w & 63
 		old := pb.bits[slot]
@@ -169,6 +200,7 @@ func (s *PageSet) Kill(r vmem.Range) bool {
 				delete(s.pages, w>>6)
 			}
 		}
+		return true
 	})
 	return hit
 }
@@ -176,13 +208,12 @@ func (s *PageSet) Kill(r vmem.Range) bool {
 // Overlaps implements LiveMem.
 func (s *PageSet) Overlaps(r vmem.Range) bool {
 	found := false
-	splitRange(r, func(w uint32, mask uint64) {
-		if found {
-			return
-		}
+	splitRange(r, func(w uint32, mask uint64) bool {
 		if pb := s.pages[w>>6]; pb != nil && pb.bits[w&63]&mask != 0 {
 			found = true
+			return false
 		}
+		return true
 	})
 	return found
 }

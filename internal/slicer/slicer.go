@@ -11,6 +11,7 @@ package slicer
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"webslice/internal/cdg"
 	"webslice/internal/isa"
@@ -127,6 +128,9 @@ func (w Window) At(i int, r *trace.Rec, t *trace.Trace) ([]vmem.Range, bool) {
 // Options tune a slicing run.
 type Options struct {
 	// Live selects the live-memory implementation; nil means NewWordSet().
+	// A non-nil Live pins the run to the sequential path (the segmented
+	// engine needs one independent live set per segment and cannot clone an
+	// arbitrary implementation).
 	Live LiveMem
 	// NoControlDeps disables the pending-branch mechanism (data-dependence-
 	// only slicing) for the ablation study.
@@ -142,7 +146,35 @@ type Options struct {
 	// slicing service uses it to enforce per-job deadlines and cancellation
 	// mid-pass instead of only at phase boundaries. It does not change the
 	// result and is deliberately excluded from store variant fingerprints.
+	// The segmented backward pass polls it from several goroutines at once,
+	// so the hook must be safe for concurrent use (ctx.Err-style hooks are).
 	Canceled func() bool
+	// Segments controls backward-pass segmentation: 0 picks automatically
+	// (4 segments per worker on large traces, sequential otherwise), 1
+	// forces the sequential walk, and >1 forces a segmented parallel walk
+	// with that many segments. The result is byte-identical either way, so
+	// Segments is excluded from store variant fingerprints.
+	Segments int
+	// Workers bounds the worker pool of the segmented pass's parallel
+	// phases; <= 0 means GOMAXPROCS. Like Segments it never changes the
+	// result, only the schedule.
+	Workers int
+	// Stats, when non-nil, receives the per-phase wall times and segment
+	// count of the backward pass. Purely observational.
+	Stats *PassStats
+}
+
+// PassStats reports how one backward pass spent its time: the parallel
+// per-segment liveness scan, the sequential stitch that threads true live
+// state across segment boundaries, and the parallel tally/progress pass.
+// A sequential run reports everything under ScanMs with Sequential set.
+type PassStats struct {
+	Segments   int     `json:"segments"`
+	Sequential bool    `json:"sequential"`
+	ScanMs     float64 `json:"scan_ms"`
+	StitchMs   float64 `json:"stitch_ms"`
+	TallyMs    float64 `json:"tally_ms"`
+	TotalMs    float64 `json:"total_ms"`
 }
 
 // Result is the computed slice plus the statistics the paper reports.
@@ -304,7 +336,7 @@ type sliceState struct {
 
 	res     *Result
 	live    LiveMem
-	regs    *bitsetGrow
+	regs    *regSet
 	threads [256]*threadState
 
 	byThread      [256]int
@@ -321,7 +353,7 @@ type sliceState struct {
 	curMarked bool
 }
 
-func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, live LiveMem) *sliceState {
+func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, live LiveMem, maxReg uint32) *sliceState {
 	n := len(t.Recs)
 	s := &sliceState{
 		t:    t,
@@ -334,7 +366,7 @@ func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, liv
 			InSlice:  NewBitset(n),
 		},
 		live:        live,
-		regs:        newBitsetGrow(),
+		regs:        getRegSet(maxReg, n),
 		byFunc:      make([]int, len(t.Funcs)),
 		sliceByFunc: make([]int, len(t.Funcs)),
 	}
@@ -350,7 +382,7 @@ func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, liv
 func (s *sliceState) thread(tid uint8) *threadState {
 	th := s.threads[tid]
 	if th == nil {
-		th = &threadState{}
+		th = getThreadState()
 		s.threads[tid] = th
 	}
 	return th
@@ -555,6 +587,10 @@ func Slice(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options) (*Result, e
 // in criteria order and are identical to what len(cs) independent Slice
 // calls would produce — one stored forward pass serves many backward
 // passes, and now those backward passes share the trace walk too.
+//
+// On large traces with more than one worker available the reverse walk
+// itself runs segmented and parallel (see Options.Segments and segment.go);
+// the output is byte-identical to the sequential walk in every field.
 func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
 	if len(cs) == 0 {
 		return nil, fmt.Errorf("slicer: no criteria")
@@ -570,19 +606,71 @@ func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]
 	if opts.Live != nil && len(cs) > 1 {
 		return nil, fmt.Errorf("slicer: Options.Live is a single instance and cannot be shared across %d fused criteria", len(cs))
 	}
+	start := time.Now()
+	bounds := planSegments(len(t.Recs), resolveSegments(opts, len(t.Recs)))
+	var (
+		out []*Result
+		err error
+	)
+	if len(bounds) > 2 {
+		out, err = sliceSegmented(t, deps, cs, opts, bounds)
+	} else {
+		out, err = sliceSequential(t, deps, cs, opts)
+		if opts.Stats != nil {
+			*opts.Stats = PassStats{Segments: 1, Sequential: true, ScanMs: msSince(start)}
+		}
+	}
+	if opts.Stats != nil {
+		opts.Stats.TotalMs = msSince(start)
+	}
+	return out, err
+}
 
+// resolveSegments turns Options.Segments into an effective segment count.
+func resolveSegments(opts Options, n int) int {
+	if opts.Live != nil || opts.Segments == 1 || opts.Segments < 0 {
+		return 1
+	}
+	if opts.Segments > 1 {
+		return opts.Segments
+	}
+	// Automatic: segment only when the trace is big enough to amortize the
+	// stitch and more than one worker can actually run.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers <= 1 || n < autoSegmentMinRecs {
+		return 1
+	}
+	return workers * segmentsPerWorker
+}
+
+// sliceSequential is the single-goroutine reverse walk: the reference
+// semantics every other engine must reproduce bit for bit.
+func sliceSequential(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
+	maxReg := maxRegOf(t.Recs, 0, len(t.Recs))
 	states := make([]*sliceState, len(cs))
 	for k, c := range cs {
 		live := opts.Live
 		if live == nil {
-			live = NewWordSet()
+			live = getWordSet()
 		}
-		states[k] = newSliceState(t, deps, c, opts, live)
+		states[k] = newSliceState(t, deps, c, opts, live, maxReg)
 	}
-	// cancelStride spaces out the Canceled polls: cheap enough to be
-	// invisible in the hot loop, frequent enough that a deadline or a
-	// cancellation lands within a few million instructions of being raised.
-	const cancelStride = 1 << 15
+	defer func() {
+		for _, s := range states {
+			putRegSet(s.regs)
+			if opts.Live == nil {
+				if ws, ok := s.live.(*WordSet); ok {
+					putWordSet(ws)
+				}
+			}
+			for _, th := range s.threads {
+				putThreadState(th)
+			}
+		}
+	}()
 	for i := len(t.Recs) - 1; i >= 0; i-- {
 		if opts.Canceled != nil && i&(cancelStride-1) == 0 && opts.Canceled() {
 			return nil, ErrCanceled
@@ -598,3 +686,29 @@ func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]
 	}
 	return out, nil
 }
+
+// cancelStride spaces out the Canceled polls: cheap enough to be invisible
+// in the hot loop, frequent enough that a deadline or a cancellation lands
+// within a few million instructions of being raised.
+const cancelStride = 1 << 15
+
+// maxRegOf scans records [lo, hi) for the largest register operand, so the
+// live-register bitsets can be presized once instead of grown mid-walk.
+func maxRegOf(recs []trace.Rec, lo, hi int) uint32 {
+	var max uint32
+	for i := lo; i < hi; i++ {
+		r := &recs[i]
+		if uint32(r.Dst) > max {
+			max = uint32(r.Dst)
+		}
+		if uint32(r.Src1) > max {
+			max = uint32(r.Src1)
+		}
+		if uint32(r.Src2) > max {
+			max = uint32(r.Src2)
+		}
+	}
+	return max
+}
+
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }

@@ -49,6 +49,8 @@ go test -run '^$' -fuzz FuzzJournalReplayNeverPanics -fuzztime 5s ./internal/ser
 go test -run '^$' -fuzz FuzzSliceNeverPanics -fuzztime 5s ./internal/slicer
 go test -run '^$' -fuzz FuzzReplayAgreesWithSlice -fuzztime 5s ./internal/replay
 go test -run '^$' -fuzz FuzzSegmentedAgreesWithSlice -fuzztime 5s ./internal/slicer
+go test -run '^$' -fuzz FuzzV3RoundTrip -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz FuzzV3DecodeNeverPanics -fuzztime 5s ./internal/trace
 
 # Segmented backward pass: the equivalence sweep (handcrafted boundaries in
 # the slicer, rendered property sites in experiments) must hold under the

@@ -24,6 +24,11 @@ const BenchFile = "BENCH_repro.json"
 // backward-pass wall time) and per-pass slice timing fields on the
 // render+slice rows: slice_scan_ms, slice_stitch_ms, slice_tally_ms,
 // slice_segments.
+//
+// Schema 3 added the "compression" experiment: per-site v2 vs v3 trace
+// encoding sizes (v2_bytes, v3_bytes, ratio) and codec wall times
+// (encode_v2_ms, encode_v3_ms, decode_v2_ms, decode_v3_ms), each row
+// gated on the v3→v2 transcode being byte-identical.
 type BenchDoc struct {
 	Schema      int               `json:"schema"`
 	Scale       float64           `json:"scale"`
@@ -58,7 +63,7 @@ type benchRecorder struct {
 
 func newBenchRecorder(scale float64, workers int) *benchRecorder {
 	return &benchRecorder{
-		doc:   BenchDoc{Schema: 2, Scale: scale, Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0)},
+		doc:   BenchDoc{Schema: 3, Scale: scale, Workers: workers, GoMaxProcs: runtime.GOMAXPROCS(0)},
 		start: time.Now(),
 	}
 }

@@ -58,21 +58,27 @@ type CategoryDist struct {
 	UnnecessaryTotal int
 }
 
-// Categorize groups the non-slice instructions by namespace category.
+// Categorize groups the non-slice instructions by namespace category. It
+// works from the result's per-function tallies rather than a record walk —
+// a record's category is a function of its FuncID alone, so summing
+// ByFunc−SliceByFunc per function is arithmetically identical to visiting
+// every non-slice record, and it keeps working against the shell trace of a
+// streaming (v3) slice, where no record slice is materialized.
 func Categorize(t *trace.Trace, res *slicer.Result) CategoryDist {
 	counts := make(map[string]int)
 	total, categorized := 0, 0
-	for i := range t.Recs {
-		if res.InSlice.Get(i) {
+	for fn, n := range res.ByFunc {
+		unnecessary := n - res.SliceByFunc[fn]
+		if unnecessary <= 0 {
 			continue
 		}
-		total++
-		cat := CategoryOf(t.Namespace(t.Recs[i].Func()))
+		total += unnecessary
+		cat := CategoryOf(t.Namespace(fn))
 		if cat == "" {
 			continue
 		}
-		categorized++
-		counts[cat]++
+		categorized += unnecessary
+		counts[cat] += unnecessary
 	}
 	d := CategoryDist{Share: make(map[string]float64), UnnecessaryTotal: total}
 	if categorized > 0 {

@@ -17,6 +17,7 @@ import (
 
 	"webslice/internal/metrics"
 	"webslice/internal/service"
+	"webslice/internal/trace"
 )
 
 // JobKey is the distribution identity of a job — the value the ring
@@ -29,6 +30,22 @@ import (
 // belong on the same node.
 func JobKey(spec service.Spec) string {
 	if len(spec.Trace) > 0 {
+		// The content address is defined over the canonical v2 bytes, so a
+		// block-compressed (v3) submission is transcoded through the
+		// streaming writer before hashing — the same trace gets the same
+		// owner whichever format carried it, and the key still matches the
+		// store's TraceKey. The compressed bytes themselves are what the
+		// coordinator forwards; only the hash looks at the v2 form.
+		if trace.FormatVersion(spec.Trace) == 3 {
+			if br, err := trace.OpenV3(spec.Trace); err == nil {
+				h := sha256.New()
+				if err := br.WriteV2(h); err == nil {
+					return hex.EncodeToString(h.Sum(nil))
+				}
+			}
+			// A malformed v3 body falls through to raw-byte hashing; the
+			// owning worker rejects it with the real decode error.
+		}
 		sum := sha256.Sum256(spec.Trace)
 		return hex.EncodeToString(sum[:])
 	}

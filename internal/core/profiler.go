@@ -28,7 +28,16 @@ import (
 
 // Profiler couples a trace with its forward-pass products and runs slices.
 type Profiler struct {
+	// T is the trace being profiled. For a streaming profiler (see
+	// NewProfilerStream) it is the v3 shell: symbol and side tables only,
+	// Recs nil — tallies, criteria, and categorization read nothing else.
 	T *trace.Trace
+
+	// src feeds records to the backward pass: zero-copy for a materialized
+	// trace, block-at-a-time for a v3 stream.
+	src slicer.Source
+	// br is the block reader behind a streaming profiler, nil otherwise.
+	br *trace.BlockReader
 
 	forest *cfg.Forest
 	deps   *cdg.Deps
@@ -53,14 +62,53 @@ type Profiler struct {
 // NewProfiler wraps a trace. Run Forward before slicing (Slice does it on
 // demand if you forget).
 func NewProfiler(t *trace.Trace) *Profiler {
-	return &Profiler{T: t, Opts: slicer.Options{ProgressPoints: 100}}
+	return &Profiler{
+		T:    t,
+		src:  slicer.TraceSource(t),
+		Opts: slicer.Options{ProgressPoints: 100},
+	}
+}
+
+// NewProfilerStream wraps a block-compressed (v3) trace without decoding
+// it: the backward pass streams one block per walker, so peak record
+// memory stays O(workers × block size) instead of the whole trace. The
+// passes that genuinely need every record at once — CFG construction on a
+// forward-pass cache miss, invariant replay under VerifyInvariants —
+// decode the trace transiently and release it.
+func NewProfilerStream(br *trace.BlockReader) *Profiler {
+	return &Profiler{
+		T:    br.Shell(),
+		src:  slicer.StreamSource(br),
+		br:   br,
+		Opts: slicer.Options{ProgressPoints: 100},
+	}
+}
+
+// materialize returns a fully decoded trace for the whole-trace passes.
+// For a materialized profiler it is T itself; for a streaming profiler it
+// decodes every block into a fresh trace the caller must not retain.
+func (p *Profiler) materialize() (*trace.Trace, error) {
+	if p.br == nil {
+		return p.T, nil
+	}
+	return p.br.ReadAll()
 }
 
 // UseStore attaches a content-addressed artifact store. The trace is
 // hashed once (its content address); from then on Forward and SliceCached
 // consult the store before computing and publish what they compute.
 func (p *Profiler) UseStore(s *store.Store) error {
-	k, err := store.TraceKey(p.T)
+	var (
+		k   string
+		err error
+	)
+	if p.br != nil {
+		// Hash the canonical v2 bytes via the streaming transcoder — same
+		// address as hashing the materialized trace, no materialization.
+		k, err = store.TraceKeyV3(p.br)
+	} else {
+		k, err = store.TraceKey(p.T)
+	}
 	if err != nil {
 		return err
 	}
@@ -91,7 +139,11 @@ func (p *Profiler) Forward() error {
 			return nil
 		}
 	}
-	f, err := cfg.Build(p.T)
+	full, err := p.materialize()
+	if err != nil {
+		return fmt.Errorf("core: forward pass: %w", err)
+	}
+	f, err := cfg.Build(full)
 	if err != nil {
 		return fmt.Errorf("core: forward pass: %w", err)
 	}
@@ -151,7 +203,11 @@ func (p *Profiler) SliceOpts(c slicer.Criteria, opts slicer.Options) (*slicer.Re
 			return nil, err
 		}
 	}
-	return slicer.Slice(p.T, p.deps, c, opts)
+	rs, err := slicer.SliceMultiSource(p.src, p.deps, []slicer.Criteria{c}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
 }
 
 // SliceMulti runs one fused backward pass that evaluates several criteria
@@ -168,7 +224,7 @@ func (p *Profiler) SliceMultiOpts(cs []slicer.Criteria, opts slicer.Options) ([]
 			return nil, err
 		}
 	}
-	return slicer.SliceMulti(p.T, p.deps, cs, opts)
+	return slicer.SliceMultiSource(p.src, p.deps, cs, opts)
 }
 
 // SliceMultiCached is SliceMulti through the artifact store: criteria whose
@@ -225,8 +281,19 @@ func (p *Profiler) verify(rs []*slicer.Result) error {
 	if !p.VerifyInvariants {
 		return nil
 	}
+	return p.VerifyResults(rs...)
+}
+
+// VerifyResults runs the structural invariant oracles over results
+// unconditionally — the service uses it to re-check cached slices. On a
+// streaming profiler the trace is decoded transiently for the replay.
+func (p *Profiler) VerifyResults(rs ...*slicer.Result) error {
+	full, err := p.materialize()
+	if err != nil {
+		return fmt.Errorf("core: verification: %w", err)
+	}
 	for _, r := range rs {
-		if err := replay.CheckInvariants(p.T, p.deps, r); err != nil {
+		if err := replay.CheckInvariants(full, p.deps, r); err != nil {
 			return fmt.Errorf("core: slice %q failed verification: %w", r.Criteria, err)
 		}
 	}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"webslice/internal/slicer"
+	"webslice/internal/store"
+	"webslice/internal/trace"
+)
+
+// streamProfiler re-encodes the machine's trace as v3 and opens a
+// streaming profiler over the compressed bytes.
+func streamProfiler(t *testing.T, tr *trace.Trace, blockRecs int) *Profiler {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, blockRecs); err != nil {
+		t.Fatal(err)
+	}
+	br, err := trace.OpenV3(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProfilerStream(br)
+}
+
+// TestStreamingProfilerMatchesMaterialized: the whole profiler pipeline —
+// forward pass, fused backward pass, invariant verification, store keys —
+// must behave identically whether it reads a materialized trace or streams
+// a v3 encoding of the same trace.
+func TestStreamingProfilerMatchesMaterialized(t *testing.T) {
+	m := demoMachine()
+	want := NewProfiler(m.Tr)
+	want.VerifyInvariants = true
+	got := streamProfiler(t, m.Tr, 64)
+	got.VerifyInvariants = true
+	if got.T.Recs != nil {
+		t.Fatal("streaming profiler materialized the record slice up front")
+	}
+	cs := []slicer.Criteria{slicer.PixelCriteria{}, slicer.SyscallCriteria{}}
+	wantRes, err := want.SliceMulti(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := got.SliceMulti(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range cs {
+		if !reflect.DeepEqual(wantRes[k], gotRes[k]) {
+			t.Fatalf("criterion %s: streaming result differs from materialized", cs[k].Name())
+		}
+	}
+	// Content addresses agree across formats: the key is defined over the
+	// canonical v2 bytes, which the streaming transcoder reproduces.
+	st, err := store.Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.UseStore(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.UseStore(st); err != nil {
+		t.Fatal(err)
+	}
+	if want.Key() == "" || want.Key() != got.Key() {
+		t.Fatalf("trace keys differ across formats: %q vs %q", want.Key(), got.Key())
+	}
+	// And because the keys agree, a slice computed through one profiler is
+	// a cache hit for the other.
+	if _, hit, err := want.SliceCached(slicer.PixelCriteria{}, want.Opts); err != nil || hit {
+		t.Fatalf("first cached slice: hit=%v err=%v", hit, err)
+	}
+	r, hit, err := got.SliceCached(slicer.PixelCriteria{}, got.Opts)
+	if err != nil || !hit {
+		t.Fatalf("cross-format cached slice: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(store.EncodeResult(r), store.EncodeResult(wantRes[0])) {
+		t.Fatal("cross-format cache hit returned a different result")
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+// The trace-compression experiment: render each of the paper's four Table II
+// benchmarks, encode the session trace in the flat v2 format and the
+// block-compressed v3 format, and measure size and encode/decode wall time
+// for both. Every measurement is guarded by the migration safety check —
+// the v3 bytes must transcode back to the exact canonical v2 bytes — so a
+// recorded ratio always describes a lossless encoding. This backs the
+// "Trace compression" section of EXPERIMENTS.md and the `compression` unit
+// of `webslice repro`.
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"webslice/internal/browser"
+	"webslice/internal/sites"
+	"webslice/internal/trace"
+)
+
+// CompressionResult is one site's measured v2-vs-v3 encoding comparison.
+type CompressionResult struct {
+	Site    string `json:"site"`
+	Records int    `json:"records"`
+	Blocks  int    `json:"blocks"`
+
+	V2Bytes int `json:"v2_bytes"`
+	V3Bytes int `json:"v3_bytes"`
+	// Ratio is V2Bytes / V3Bytes (>1 means v3 is smaller).
+	Ratio float64 `json:"ratio"`
+
+	EncodeV2Ms float64 `json:"encode_v2_ms"`
+	EncodeV3Ms float64 `json:"encode_v3_ms"`
+	DecodeV2Ms float64 `json:"decode_v2_ms"`
+	DecodeV3Ms float64 `json:"decode_v3_ms"`
+
+	// RoundTrip reports that OpenV3(v3).WriteV2 reproduced the canonical
+	// v2 bytes exactly. ExecuteCompression errors when false; the field is
+	// recorded so BENCH_repro.json carries the evidence.
+	RoundTrip bool `json:"round_trip"`
+}
+
+// compressionReps: each codec direction is timed this many times and the
+// best run is kept, shielding the recorded wall times from scheduler noise.
+const compressionReps = 3
+
+// ExecuteCompression renders the four Table II benchmarks at cfg.Scale and
+// measures both trace encodings for each. Sessions render over a
+// cfg.Workers-bounded pool; results come back in site-list order.
+func ExecuteCompression(cfg Config) ([]CompressionResult, error) {
+	benches := sites.TableII(cfg.Scale)
+	out := make([]CompressionResult, len(benches))
+	err := forEach(cfg.Workers, len(benches), func(i int) error {
+		r, err := measureCompression(benches[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	return out, err
+}
+
+func measureCompression(b sites.Benchmark) (CompressionResult, error) {
+	br := browser.New(b.Site, b.Profile)
+	br.RunSession()
+	if len(br.Errors) > 0 {
+		return CompressionResult{}, fmt.Errorf("experiments: compression: %s: %v", b.Name, br.Errors[0])
+	}
+	tr := br.M.Tr
+	res := CompressionResult{Site: b.Name, Records: len(tr.Recs)}
+
+	var v2, v3 bytes.Buffer
+	var err error
+	res.EncodeV2Ms, err = bestOf(compressionReps, func() error {
+		v2.Reset()
+		return tr.Write(&v2)
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: compression: %s: encode v2: %w", b.Name, err)
+	}
+	res.EncodeV3Ms, err = bestOf(compressionReps, func() error {
+		v3.Reset()
+		return tr.WriteV3Blocks(&v3, trace.DefaultBlockRecs)
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: compression: %s: encode v3: %w", b.Name, err)
+	}
+	res.V2Bytes, res.V3Bytes = v2.Len(), v3.Len()
+	if res.V3Bytes > 0 {
+		res.Ratio = float64(res.V2Bytes) / float64(res.V3Bytes)
+	}
+
+	res.DecodeV2Ms, err = bestOf(compressionReps, func() error {
+		_, err := trace.Read(bytes.NewReader(v2.Bytes()))
+		return err
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: compression: %s: decode v2: %w", b.Name, err)
+	}
+	var rt bytes.Buffer
+	res.DecodeV3Ms, err = bestOf(compressionReps, func() error {
+		br3, err := trace.OpenV3(v3.Bytes())
+		if err != nil {
+			return err
+		}
+		rt.Reset()
+		return br3.WriteV2(&rt)
+	})
+	if err != nil {
+		return res, fmt.Errorf("experiments: compression: %s: decode v3: %w", b.Name, err)
+	}
+	res.Blocks = (res.Records + trace.DefaultBlockRecs - 1) / trace.DefaultBlockRecs
+
+	if !bytes.Equal(rt.Bytes(), v2.Bytes()) {
+		return res, fmt.Errorf("experiments: compression: %s: v3 transcode is not byte-identical to v2", b.Name)
+	}
+	res.RoundTrip = true
+	return res, nil
+}
+
+// bestOf runs fn reps times, returning the best wall time in milliseconds.
+func bestOf(reps int, fn func() error) (float64, error) {
+	best := 0.0
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		elapsed := ms(time.Since(start))
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}

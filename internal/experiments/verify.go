@@ -7,6 +7,11 @@ package experiments
 //   - golden:       re-run the committed golden corpus (examples/golden/)
 //                   and compare slice digests byte-for-byte, then replay
 //                   and invariant-check every corpus slice;
+//   - crossformat:  re-run the golden corpus through the block-compressed
+//                   (v3) trace format: encode each trace to v3, slice it
+//                   with the streaming profiler, and demand the same pinned
+//                   digests, the same Table II numbers, and the same
+//                   replay-oracle verdicts as the flat (v2) pipeline;
 //   - replay:       re-execute property-generated sites' slices with all
 //                   out-of-slice instructions elided, asserting criterion
 //                   bytes reproduce;
@@ -17,6 +22,7 @@ package experiments
 //   - all:          everything above.
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -25,6 +31,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"webslice/internal/analysis"
 	"webslice/internal/browser"
 	"webslice/internal/cdg"
 	"webslice/internal/core"
@@ -64,6 +71,9 @@ type VerifyStats struct {
 	Differentials int
 	Invariants    int
 	Updated       int
+	// CrossFormat counts golden sites whose v3 (streaming) slices were
+	// checked against the pinned v2 digests and replay verdicts.
+	CrossFormat int
 }
 
 // verifyOpts are the slicing options every verify phase uses. No progress
@@ -239,15 +249,20 @@ func ExecuteVerify(phase string, cfg VerifyConfig) (*VerifyStats, error) {
 	switch phase {
 	case "golden":
 		return stats, verifyGolden(cfg, stats)
+	case "crossformat":
+		return stats, verifyCrossFormat(cfg, stats)
 	case "replay", "differential", "invariants":
 		return stats, verifyProperty(phase, cfg, stats)
 	case "all":
 		if err := verifyGolden(cfg, stats); err != nil {
 			return stats, err
 		}
+		if err := verifyCrossFormat(cfg, stats); err != nil {
+			return stats, err
+		}
 		return stats, verifyProperty("all", cfg, stats)
 	default:
-		return nil, fmt.Errorf("verify: unknown phase %q (want golden, replay, differential, invariants, or all)", phase)
+		return nil, fmt.Errorf("verify: unknown phase %q (want golden, crossformat, replay, differential, invariants, or all)", phase)
 	}
 }
 
@@ -311,6 +326,90 @@ func verifyGolden(cfg VerifyConfig, stats *VerifyStats) error {
 		}
 		return os.WriteFile(cfg.GoldenPath, append(out, '\n'), 0o644)
 	}
+	return nil
+}
+
+// verifyCrossFormat re-runs the golden corpus through the block-compressed
+// pipeline: each site's trace is transcoded to v3 and sliced by the
+// streaming profiler (shell trace, block-at-a-time backward pass). Every
+// pinned digest must reproduce, every slice must still satisfy the replay
+// oracle against the original tape, and the derived paper numbers — the
+// Table II slice percentages and the Figure 5 category distribution — must
+// be identical to the materialized run's.
+func verifyCrossFormat(cfg VerifyConfig, stats *VerifyStats) error {
+	if cfg.GoldenPath == "" {
+		return nil
+	}
+	corpus, err := LoadGolden(cfg.GoldenPath)
+	if err != nil {
+		return err
+	}
+	err = forEach(cfg.Workers, len(corpus.Sites), func(i int) error {
+		e := &corpus.Sites[i]
+		b, err := e.Bench()
+		if err != nil {
+			return fmt.Errorf("verify: crossformat %s: %w", e.Label(), err)
+		}
+		v, err := runVerified(b)
+		if err != nil {
+			return err
+		}
+		var enc bytes.Buffer
+		if err := v.tr.WriteV3Blocks(&enc, trace.DefaultBlockRecs); err != nil {
+			return fmt.Errorf("verify: crossformat %s: encode: %w", e.Label(), err)
+		}
+		br, err := trace.OpenV3(enc.Bytes())
+		if err != nil {
+			return fmt.Errorf("verify: crossformat %s: open: %w", e.Label(), err)
+		}
+		p := core.NewProfilerStream(br)
+		p.Opts = verifyOpts
+		rs, err := p.SliceMulti([]slicer.Criteria{
+			slicer.PixelCriteria{},
+			slicer.SyscallCriteria{},
+			slicer.Union{slicer.PixelCriteria{}, slicer.SyscallCriteria{}},
+		})
+		if err != nil {
+			return fmt.Errorf("verify: crossformat %s: %w", e.Label(), err)
+		}
+		if d := SliceDigest(rs[0]); d != e.Pixels {
+			return fmt.Errorf("verify: crossformat %s: v3 pixel slice digest %s, pinned v2 digest %s", e.Label(), d, e.Pixels)
+		}
+		if d := SliceDigest(rs[1]); d != e.Syscalls {
+			return fmt.Errorf("verify: crossformat %s: v3 syscall slice digest %s, pinned v2 digest %s", e.Label(), d, e.Syscalls)
+		}
+		// Table II: the slice percentages must agree exactly.
+		for k, pair := range []struct{ v2, v3 *slicer.Result }{{v.pix, rs[0]}, {v.sys, rs[1]}, {v.uni, rs[2]}} {
+			if pair.v2.Percent() != pair.v3.Percent() || pair.v2.Total != pair.v3.Total {
+				return fmt.Errorf("verify: crossformat %s: slice %d percentage diverges: v2 %.4f%% (%d recs), v3 %.4f%% (%d recs)",
+					e.Label(), k, pair.v2.Percent(), pair.v2.Total, pair.v3.Percent(), pair.v3.Total)
+			}
+		}
+		// Figure 5: the category distribution computed from the v3 shell
+		// trace must match the one from the materialized trace.
+		d2, d3 := analysis.Categorize(v.tr, v.pix), analysis.Categorize(p.T, rs[0])
+		if d2.UnnecessaryTotal != d3.UnnecessaryTotal || d2.CoveragePct != d3.CoveragePct || len(d2.Share) != len(d3.Share) {
+			return fmt.Errorf("verify: crossformat %s: category distribution diverges: v2 %+v, v3 %+v", e.Label(), d2, d3)
+		}
+		for cat, share := range d2.Share {
+			if d3.Share[cat] != share {
+				return fmt.Errorf("verify: crossformat %s: category %q share diverges: v2 %v, v3 %v", e.Label(), cat, share, d3.Share[cat])
+			}
+		}
+		// Replay-oracle verdicts: slices computed by the streaming pass must
+		// reproduce the criterion bytes on the original tape.
+		w := &verifiedRun{bench: v.bench, tr: v.tr, tape: v.tape, deps: p.Deps(), pix: rs[0], sys: rs[1], uni: rs[2]}
+		if err := w.replayAll(); err != nil {
+			return fmt.Errorf("verify: crossformat: %w", err)
+		}
+		return w.invariantsAll()
+	})
+	if err != nil {
+		return err
+	}
+	stats.CrossFormat = len(corpus.Sites)
+	stats.Replays += 3 * len(corpus.Sites)
+	stats.Invariants += len(corpus.Sites)
 	return nil
 }
 

@@ -29,6 +29,24 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
+// TestGoldenCorpusCrossFormat re-encodes every golden site as block-compressed
+// v3 and demands the streaming profiler reproduce the exact pinned digests,
+// Table II percentages, and Figure 5 category distribution that the
+// materialized v2 pipeline produces. This is the migration safety gate for
+// the v3 trace format: if it fails, v3 slicing diverged from v2.
+func TestGoldenCorpusCrossFormat(t *testing.T) {
+	st, err := ExecuteVerify("crossformat", VerifyConfig{GoldenPath: goldenPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CrossFormat < 8 {
+		t.Errorf("cross-format phase covered %d sites, want >= 8", st.CrossFormat)
+	}
+	if st.Replays != 3*st.CrossFormat {
+		t.Errorf("replayed %d slices for %d sites, want 3 per site", st.Replays, st.CrossFormat)
+	}
+}
+
 // TestGoldenCorpusDigestsPinned guards the corpus file itself: every entry
 // must carry non-empty digests (an empty digest would make the golden phase
 // vacuously "pass" after a careless regeneration).

@@ -36,7 +36,6 @@ import (
 	"webslice/internal/browser"
 	"webslice/internal/core"
 	"webslice/internal/metrics"
-	"webslice/internal/replay"
 	"webslice/internal/sites"
 	"webslice/internal/slicer"
 	"webslice/internal/store"
@@ -841,14 +840,14 @@ func (m *Manager) drop(j *job) {
 // context's deadline/cancellation is polled at phase boundaries and,
 // through slicer.Options.Canceled, inside the backward walk itself.
 func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
-	t, err := obtainTrace(spec)
+	p, err := obtainTrace(spec)
 	if err != nil {
 		return nil, err
 	}
 	if ctx.Err() != nil {
 		return nil, ErrCanceled
 	}
-	p := core.NewProfiler(t)
+	t := p.T // the shell for a streaming (v3) submission: tables only
 	p.Opts.ProgressPoints = 160
 	p.Opts.MainThread = browser.MainThread
 	p.Opts.Canceled = func() bool { return ctx.Err() != nil }
@@ -890,7 +889,7 @@ func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 		if err := p.Forward(); err != nil {
 			return nil, err
 		}
-		if err := replay.CheckInvariants(t, p.Deps(), res); err != nil {
+		if err := p.VerifyResults(res); err != nil {
 			return nil, fmt.Errorf("service: cached slice failed verification: %w", err)
 		}
 	}
@@ -935,13 +934,23 @@ func sliceDigest(r *slicer.Result) string {
 	return hex.EncodeToString(sum[:])
 }
 
-func obtainTrace(spec Spec) (*trace.Trace, error) {
+func obtainTrace(spec Spec) (*core.Profiler, error) {
 	if len(spec.Trace) > 0 {
+		// A v3 (block-compressed) submission is profiled in place: the
+		// backward pass streams blocks out of the submitted bytes and the
+		// records are never materialized as one slice.
+		if trace.FormatVersion(spec.Trace) == 3 {
+			br, err := trace.OpenV3(spec.Trace)
+			if err != nil {
+				return nil, fmt.Errorf("service: decoding submitted trace: %w", err)
+			}
+			return core.NewProfilerStream(br), nil
+		}
 		t, err := trace.Read(bytes.NewReader(spec.Trace))
 		if err != nil {
 			return nil, fmt.Errorf("service: decoding submitted trace: %w", err)
 		}
-		return t, nil
+		return core.NewProfiler(t), nil
 	}
 	var b sites.Benchmark
 	if spec.Site == "" && spec.Seed != 0 {
@@ -961,5 +970,5 @@ func obtainTrace(spec Spec) (*trace.Trace, error) {
 	if len(br.Errors) > 0 {
 		return nil, fmt.Errorf("service: rendering %s: %w", b.Name, br.Errors[0])
 	}
-	return br.M.Tr, nil
+	return core.NewProfiler(br.M.Tr), nil
 }

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"webslice/internal/browser"
+	"webslice/internal/sites"
+	"webslice/internal/store"
+	"webslice/internal/trace"
+)
+
+// TestV3TraceSubmissionMatchesV2: the same trace submitted flat (v2) and
+// block-compressed (v3) must produce the same content address, the same
+// slice digest, and the same category breakdown — and because the keys
+// agree, the v3 job is a cache hit on the artifacts the v2 job computed.
+// The v3 job runs the streaming profiler: its backward pass reads blocks
+// straight out of the submitted bytes.
+func TestV3TraceSubmissionMatchesV2(t *testing.T) {
+	b, err := sites.ByName("amazon-desktop", sites.Options{Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := browser.New(b.Site, b.Profile)
+	br.RunSession()
+	if len(br.Errors) > 0 {
+		t.Fatal(br.Errors[0])
+	}
+	var v2, v3 bytes.Buffer
+	if err := br.M.Tr.Write(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := br.M.Tr.WriteV3Blocks(&v3, trace.DefaultBlockRecs); err != nil {
+		t.Fatal(err)
+	}
+	if v3.Len() >= v2.Len() {
+		t.Fatalf("v3 encoding (%d bytes) is not smaller than v2 (%d bytes)", v3.Len(), v2.Len())
+	}
+
+	st, _ := store.Open(t.TempDir(), 0)
+	m := New(Config{Workers: 2, Store: st})
+	defer m.Close()
+
+	idV2, err := m.Submit(Spec{Trace: v2.Bytes(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, idV2, StatusDone)
+	resV2, _ := m.Result(idV2)
+
+	idV3, err := m.Submit(Spec{Trace: v3.Bytes(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, idV3, StatusDone)
+	resV3, _ := m.Result(idV3)
+
+	if resV3.TraceKey != resV2.TraceKey {
+		t.Fatalf("trace keys differ across formats: %q vs %q", resV3.TraceKey, resV2.TraceKey)
+	}
+	if resV3.SliceDigest != resV2.SliceDigest {
+		t.Fatalf("slice digests differ across formats: %q vs %q", resV3.SliceDigest, resV2.SliceDigest)
+	}
+	if resV3.Total != resV2.Total || resV3.SliceCount != resV2.SliceCount {
+		t.Fatalf("tallies differ: %d/%d (v3) vs %d/%d (v2)",
+			resV3.SliceCount, resV3.Total, resV2.SliceCount, resV2.Total)
+	}
+	if !resV3.CacheHit {
+		t.Fatal("v3 job missed the cache entries the v2 job stored — content addresses must agree")
+	}
+	for cat, share := range resV2.Categories {
+		if resV3.Categories[cat] != share {
+			t.Fatalf("category %q differs: %v (v3) vs %v (v2)", cat, resV3.Categories[cat], share)
+		}
+	}
+
+	// A corrupted v3 body passes the magic sniff but fails in the worker
+	// with a decode error, like any other bad trace.
+	corrupt := append([]byte(nil), v3.Bytes()...)
+	corrupt[v3.Len()/2] ^= 0x01
+	idBad, err := m.Submit(Spec{Trace: corrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, idBad, StatusFailed)
+}

@@ -3,6 +3,8 @@ package slicer
 import (
 	"runtime"
 	"sync"
+
+	"webslice/internal/trace"
 )
 
 // The segmented backward pass multiplies the number of live-register sets,
@@ -51,6 +53,21 @@ func getWordSet() *WordSet {
 func putWordSet(s *WordSet) {
 	if s != nil {
 		wordSetPool.Put(s)
+	}
+}
+
+var recBufPool = sync.Pool{New: func() any { return new([]trace.Rec) }}
+
+// getRecBuf returns a record window buffer for streaming walks; its capacity
+// grows to the source's block size on first use and is kept across passes.
+func getRecBuf() *[]trace.Rec {
+	return recBufPool.Get().(*[]trace.Rec)
+}
+
+func putRecBuf(b *[]trace.Rec) {
+	if b != nil {
+		*b = (*b)[:0]
+		recBufPool.Put(b)
 	}
 }
 

@@ -58,8 +58,16 @@ const (
 // returns the k+1 boundary indices. Interior boundaries are 64-aligned so
 // concurrent segment scans touch disjoint words of the shared bitsets; k is
 // clamped so every segment holds at least minSegmentRecs records.
-func planSegments(n, k int) []int {
-	if maxK := n / minSegmentRecs; k > maxK {
+func planSegments(n, k int) []int { return planSegmentsAligned(n, k, minSegmentRecs) }
+
+// planSegmentsAligned is planSegments with an explicit interior-boundary
+// alignment. Streaming sources pass their block size (always a multiple of
+// minSegmentRecs) so every segment covers whole blocks and no block is
+// decoded by two scan workers; k is clamped so every segment holds at least
+// align records, which keeps the boundaries strictly increasing after
+// alignment.
+func planSegmentsAligned(n, k, align int) []int {
+	if maxK := n / align; k > maxK {
 		k = maxK
 	}
 	if k <= 1 {
@@ -67,7 +75,7 @@ func planSegments(n, k int) []int {
 	}
 	bounds := make([]int, k+1)
 	for s := 1; s < k; s++ {
-		bounds[s] = (n * s / k) &^ (minSegmentRecs - 1)
+		bounds[s] = n * s / k / align * align
 	}
 	bounds[k] = n
 	return bounds
@@ -98,8 +106,9 @@ func (a *anchorRecorder) At(i int, r *trace.Rec, t *trace.Trace) ([]vmem.Range, 
 
 // sliceSegmented is the segmented parallel engine behind SliceMulti. Its
 // output is byte-identical to sliceSequential in every Result field.
-func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options, bounds []int) ([]*Result, error) {
-	n := len(t.Recs)
+func sliceSegmented(src Source, deps *cdg.Deps, cs []Criteria, opts Options, bounds []int) ([]*Result, error) {
+	t := src.Shell()
+	n := src.NumRecs()
 	segs := len(bounds) - 1
 	workers := opts.Workers
 	if workers <= 0 {
@@ -113,7 +122,10 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 
 	// maxReg prescan, split across the same worker pool: presizing the
 	// per-segment register sets keeps Set/Kill off the grow path.
-	maxReg := parallelMaxReg(t.Recs, bounds, workers)
+	maxReg, err := parallelMaxReg(src, bounds, workers)
+	if err != nil {
+		return nil, err
+	}
 
 	// Shared per-criterion outputs, written goroutine-disjointly by segment.
 	anchors := make([]*anchorRecorder, len(cs))
@@ -126,6 +138,7 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 	// Phase 1: parallel per-segment scans. states[s][k] is the pass-1 state
 	// of segment s for criterion k.
 	states := make([][]*sliceState, segs)
+	segErrs := make([]error, segs)
 	segOpts := opts
 	segOpts.ProgressPoints = 0 // progress is reconstructed by the tally phase
 	var canceled atomic.Bool
@@ -140,7 +153,7 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 				if s >= segs || canceled.Load() {
 					return
 				}
-				states[s] = scanSegment(t, deps, anchors, inSlice, segOpts, maxReg, bounds[s], bounds[s+1], &canceled)
+				states[s], segErrs[s] = scanSegment(src, deps, anchors, inSlice, segOpts, maxReg, bounds[s], bounds[s+1], &canceled)
 			}
 		}()
 	}
@@ -148,6 +161,13 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 	scanMs := msSince(start)
 	if canceled.Load() {
 		releaseStates(states, opts)
+		// A decode failure also trips the cancellation flag; report the
+		// lowest-index segment's error over the generic cancellation.
+		for _, e := range segErrs {
+			if e != nil {
+				return nil, e
+			}
+		}
 		return nil, ErrCanceled
 	}
 
@@ -156,23 +176,36 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 	stitches := make([]*stitchCrit, len(cs))
 	last := states[segs-1]
 	for k := range cs {
-		stitches[k] = newStitchCrit(t, deps, opts, inSlice[k], anchors[k].bits, last[k], maxReg, len(t.Recs))
+		stitches[k] = newStitchCrit(t, deps, opts, inSlice[k], anchors[k].bits, last[k], maxReg, n)
 	}
-	for s := segs - 2; s >= 0; s-- {
+	stitchBuf := getRecBuf()
+	stitchCanceled := false
+	for s := segs - 2; s >= 0 && err == nil && !stitchCanceled; s-- {
 		for k, sc := range stitches {
 			sc.mergeBottom(states[s+1][k])
 		}
-		for i := bounds[s+1] - 1; i >= bounds[s]; i-- {
-			if opts.Canceled != nil && i&(cancelStride-1) == 0 && opts.Canceled() {
-				releaseStates(states, opts)
-				releaseStitches(stitches)
-				return nil, ErrCanceled
+		err = reverseWindows(src, bounds[s], bounds[s+1], stitchBuf, func(wlo int, recs []trace.Rec) bool {
+			for i := wlo + len(recs) - 1; i >= wlo; i-- {
+				if opts.Canceled != nil && i&(cancelStride-1) == 0 && opts.Canceled() {
+					stitchCanceled = true
+					return false
+				}
+				r := &recs[i-wlo]
+				for _, sc := range stitches {
+					sc.record(i, r)
+				}
 			}
-			r := &t.Recs[i]
-			for _, sc := range stitches {
-				sc.record(i, r)
-			}
-		}
+			return true
+		})
+	}
+	putRecBuf(stitchBuf)
+	if err == nil && stitchCanceled {
+		err = ErrCanceled
+	}
+	if err != nil {
+		releaseStates(states, opts)
+		releaseStitches(stitches)
+		return nil, err
 	}
 	stitchMs := msSince(stitchStart)
 
@@ -181,9 +214,9 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 	tallyStart := time.Now()
 	out := make([]*Result, len(cs))
 	for k, c := range cs {
-		out[k] = assembleResult(t, c, states, stitches[k], inSlice[k], k)
+		out[k] = assembleResult(t, n, c, states, stitches[k], inSlice[k], k)
 	}
-	if err := fillProgress(t, opts, bounds, inSlice, out, workers, &canceled); err != nil {
+	if err := fillProgress(src, opts, bounds, inSlice, out, workers, &canceled); err != nil {
 		releaseStates(states, opts)
 		releaseStitches(stitches)
 		return nil, err
@@ -203,9 +236,12 @@ func sliceSegmented(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options,
 
 // scanSegment runs the unmodified fused liveness walk over records [lo, hi)
 // with an empty incoming live state, one sliceState per criterion. Shared
-// bitset writes stay inside the segment's 64-aligned word range.
-func scanSegment(t *trace.Trace, deps *cdg.Deps, anchors []*anchorRecorder, inSlice []Bitset, opts Options, maxReg uint32, lo, hi int, canceled *atomic.Bool) []*sliceState {
-	n := len(t.Recs)
+// bitset writes stay inside the segment's 64-aligned word range. Streaming
+// sources decode the segment one block at a time into a pooled window; a
+// decode failure trips the shared cancellation flag so sibling scans stop.
+func scanSegment(src Source, deps *cdg.Deps, anchors []*anchorRecorder, inSlice []Bitset, opts Options, maxReg uint32, lo, hi int, canceled *atomic.Bool) ([]*sliceState, error) {
+	t := src.Shell()
+	n := src.NumRecs()
 	sts := make([]*sliceState, len(anchors))
 	for k, a := range anchors {
 		sts[k] = &sliceState{
@@ -224,22 +260,31 @@ func scanSegment(t *trace.Trace, deps *cdg.Deps, anchors []*anchorRecorder, inSl
 			sliceByFunc: make([]int, len(t.Funcs)),
 		}
 	}
-	for i := hi - 1; i >= lo; i-- {
-		if i&(cancelStride-1) == 0 {
-			if canceled.Load() {
-				return sts
+	buf := getRecBuf()
+	defer putRecBuf(buf)
+	err := reverseWindows(src, lo, hi, buf, func(wlo int, recs []trace.Rec) bool {
+		for i := wlo + len(recs) - 1; i >= wlo; i-- {
+			if i&(cancelStride-1) == 0 {
+				if canceled.Load() {
+					return false
+				}
+				if opts.Canceled != nil && opts.Canceled() {
+					canceled.Store(true)
+					return false
+				}
 			}
-			if opts.Canceled != nil && opts.Canceled() {
-				canceled.Store(true)
-				return sts
+			r := &recs[i-wlo]
+			for _, s := range sts {
+				s.step(i, r)
 			}
 		}
-		r := &t.Recs[i]
-		for _, s := range sts {
-			s.step(i, r)
-		}
+		return true
+	})
+	if err != nil {
+		canceled.Store(true)
+		return sts, err
 	}
-	return sts
+	return sts, nil
 }
 
 // releaseStates returns the pooled scratch of pass-1 states. It must run
@@ -474,10 +519,10 @@ func (sc *stitchCrit) finalPendingLeft(lastSegPending int) int {
 // assembleResult combines the per-segment scan tallies (exact for the
 // verdict-independent ones, scan-visible subsets for the rest) with the
 // stitch's corrections into the final Result, matching sliceState.finish.
-func assembleResult(t *trace.Trace, c Criteria, states [][]*sliceState, sc *stitchCrit, bits Bitset, k int) *Result {
+func assembleResult(t *trace.Trace, n int, c Criteria, states [][]*sliceState, sc *stitchCrit, bits Bitset, k int) *Result {
 	res := &Result{
 		Criteria: c.Name(),
-		Total:    len(t.Recs),
+		Total:    n,
 		InSlice:  bits,
 	}
 	var byThread, sliceByThread [256]int
@@ -552,17 +597,18 @@ type segProgress struct {
 // at record i equals the number of set bits in [i, n) of the FINAL bitset —
 // per-segment backward scans plus a sequential suffix-sum fix-up rebuild
 // the exact samples the sequential pass would have emitted.
-func fillProgress(t *trace.Trace, opts Options, bounds []int, inSlice []Bitset, out []*Result, workers int, canceled *atomic.Bool) error {
+func fillProgress(src Source, opts Options, bounds []int, inSlice []Bitset, out []*Result, workers int, canceled *atomic.Bool) error {
 	if opts.ProgressPoints <= 0 {
 		return nil
 	}
-	n := len(t.Recs)
+	n := src.NumRecs()
 	sampleEvery := n / opts.ProgressPoints
 	if sampleEvery == 0 {
 		sampleEvery = 1
 	}
 	segs := len(bounds) - 1
 	parts := make([][]segProgress, segs) // parts[s][k]
+	segErrs := make([]error, segs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -574,12 +620,17 @@ func fillProgress(t *trace.Trace, opts Options, bounds []int, inSlice []Bitset, 
 				if s >= segs || canceled.Load() {
 					return
 				}
-				parts[s] = progressSegment(t, opts, inSlice, bounds[s], bounds[s+1], sampleEvery, canceled)
+				parts[s], segErrs[s] = progressSegment(src, opts, inSlice, bounds[s], bounds[s+1], sampleEvery, canceled)
 			}
 		}()
 	}
 	wg.Wait()
 	if canceled.Load() {
+		for _, e := range segErrs {
+			if e != nil {
+				return e
+			}
+		}
 		return ErrCanceled
 	}
 	for k, res := range out {
@@ -615,65 +666,85 @@ func fillProgress(t *trace.Trace, opts Options, bounds []int, inSlice []Bitset, 
 // progressSegment scans records [lo, hi) backward, emitting the criterion
 // sample points that fall inside the segment with segment-local cumulative
 // counts. The sequential pass samples when its processed counter (n-i after
-// stepping record i) hits a multiple of sampleEvery.
-func progressSegment(t *trace.Trace, opts Options, inSlice []Bitset, lo, hi, sampleEvery int, canceled *atomic.Bool) []segProgress {
-	n := len(t.Recs)
+// stepping record i) hits a multiple of sampleEvery. A decode failure trips
+// the shared cancellation flag.
+func progressSegment(src Source, opts Options, inSlice []Bitset, lo, hi, sampleEvery int, canceled *atomic.Bool) ([]segProgress, error) {
+	n := src.NumRecs()
 	parts := make([]segProgress, len(inSlice))
-	for i := hi - 1; i >= lo; i-- {
-		if i&(cancelStride-1) == 0 && canceled.Load() {
-			return parts
-		}
-		r := &t.Recs[i]
-		main := r.TID == opts.MainThread
-		processed := n - i
-		for k := range parts {
-			p := &parts[k]
-			marked := inSlice[k].Get(i)
-			if marked {
-				p.sliced++
+	buf := getRecBuf()
+	defer putRecBuf(buf)
+	err := reverseWindows(src, lo, hi, buf, func(wlo int, recs []trace.Rec) bool {
+		for i := wlo + len(recs) - 1; i >= wlo; i-- {
+			if i&(cancelStride-1) == 0 && canceled.Load() {
+				return false
 			}
-			if main {
-				p.mainProcessed++
+			r := &recs[i-wlo]
+			main := r.TID == opts.MainThread
+			processed := n - i
+			for k := range parts {
+				p := &parts[k]
+				marked := inSlice[k].Get(i)
 				if marked {
-					p.mainSliced++
+					p.sliced++
+				}
+				if main {
+					p.mainProcessed++
+					if marked {
+						p.mainSliced++
+					}
+				}
+				if processed%sampleEvery == 0 {
+					p.points = append(p.points, ProgressPoint{processed, p.sliced, p.mainProcessed, p.mainSliced})
 				}
 			}
-			if processed%sampleEvery == 0 {
-				p.points = append(p.points, ProgressPoint{processed, p.sliced, p.mainProcessed, p.mainSliced})
-			}
 		}
+		return true
+	})
+	if err != nil {
+		canceled.Store(true)
+		return parts, err
 	}
-	return parts
+	return parts, nil
 }
 
 // parallelMaxReg splits the register prescan across the segment bounds.
-func parallelMaxReg(recs []trace.Rec, bounds []int, workers int) uint32 {
+func parallelMaxReg(src Source, bounds []int, workers int) (uint32, error) {
 	segs := len(bounds) - 1
 	if workers <= 1 || segs <= 1 {
-		return maxRegOf(recs, 0, len(recs))
+		buf := getRecBuf()
+		defer putRecBuf(buf)
+		return maxRegOfSource(src, 0, src.NumRecs(), buf)
 	}
 	maxes := make([]uint32, segs)
+	segErrs := make([]error, segs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := getRecBuf()
+			defer putRecBuf(buf)
 			for {
 				s := int(next.Add(1)) - 1
 				if s >= segs {
 					return
 				}
-				maxes[s] = maxRegOf(recs, bounds[s], bounds[s+1])
+				maxes[s], segErrs[s] = maxRegOfSource(src, bounds[s], bounds[s+1], buf)
 			}
 		}()
 	}
 	wg.Wait()
+	for _, e := range segErrs {
+		if e != nil {
+			return 0, e
+		}
+	}
 	var max uint32
 	for _, m := range maxes {
 		if m > max {
 			max = m
 		}
 	}
-	return max
+	return max, nil
 }

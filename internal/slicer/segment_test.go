@@ -142,7 +142,7 @@ func TestSegmentedEveryBoundary(t *testing.T) {
 			t.Fatal(err)
 		}
 		for b := minSegmentRecs; b < n; b += minSegmentRecs {
-			got, err := sliceSegmented(tc.m.Tr, deps, tc.cs, opts, []int{0, b, n})
+			got, err := sliceSegmented(TraceSource(tc.m.Tr), deps, tc.cs, opts, []int{0, b, n})
 			if err != nil {
 				t.Fatalf("%s boundary %d: %v", tc.name, b, err)
 			}
@@ -158,7 +158,7 @@ func TestSegmentedEveryBoundary(t *testing.T) {
 			if pair[1] <= pair[0] || pair[1] >= n {
 				continue
 			}
-			got, err := sliceSegmented(tc.m.Tr, deps, tc.cs, opts, []int{0, pair[0], pair[1], n})
+			got, err := sliceSegmented(TraceSource(tc.m.Tr), deps, tc.cs, opts, []int{0, pair[0], pair[1], n})
 			if err != nil {
 				t.Fatal(err)
 			}

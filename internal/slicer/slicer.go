@@ -353,8 +353,7 @@ type sliceState struct {
 	curMarked bool
 }
 
-func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, live LiveMem, maxReg uint32) *sliceState {
-	n := len(t.Recs)
+func newSliceState(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options, live LiveMem, maxReg uint32, n int) *sliceState {
 	s := &sliceState{
 		t:    t,
 		deps: deps,
@@ -592,6 +591,16 @@ func Slice(t *trace.Trace, deps *cdg.Deps, c Criteria, opts Options) (*Result, e
 // itself runs segmented and parallel (see Options.Segments and segment.go);
 // the output is byte-identical to the sequential walk in every field.
 func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
+	return SliceMultiSource(TraceSource(t), deps, cs, opts)
+}
+
+// SliceMultiSource is SliceMulti over an abstract record source. With a
+// StreamSource over a v3 block reader the walks decode one block per walker
+// at a time — peak record memory is O(workers × blockRecs) instead of the
+// whole trace — and segment boundaries are planned on block bounds so no
+// block is decoded by two scan workers. The output is byte-identical to
+// slicing the materialized trace.
+func SliceMultiSource(src Source, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
 	if len(cs) == 0 {
 		return nil, fmt.Errorf("slicer: no criteria")
 	}
@@ -607,23 +616,35 @@ func SliceMulti(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]
 		return nil, fmt.Errorf("slicer: Options.Live is a single instance and cannot be shared across %d fused criteria", len(cs))
 	}
 	start := time.Now()
-	bounds := planSegments(len(t.Recs), resolveSegments(opts, len(t.Recs)))
+	n := src.NumRecs()
+	bounds := planSegmentsAligned(n, resolveSegments(opts, n), segmentAlign(src))
 	var (
 		out []*Result
 		err error
 	)
 	if len(bounds) > 2 {
-		out, err = sliceSegmented(t, deps, cs, opts, bounds)
+		out, err = sliceSegmented(src, deps, cs, opts, bounds)
 	} else {
-		out, err = sliceSequential(t, deps, cs, opts)
-		if opts.Stats != nil {
+		out, err = sliceSequential(src, deps, cs, opts)
+		if err == nil && opts.Stats != nil {
 			*opts.Stats = PassStats{Segments: 1, Sequential: true, ScanMs: msSince(start)}
 		}
 	}
-	if opts.Stats != nil {
+	if err == nil && opts.Stats != nil {
 		opts.Stats.TotalMs = msSince(start)
 	}
 	return out, err
+}
+
+// segmentAlign is the alignment for interior segment boundaries: block
+// bounds for streaming sources (so a block is only ever decoded by one scan
+// worker), plain bitset-word alignment otherwise. Block sizes are multiples
+// of 64, so block alignment implies word disjointness.
+func segmentAlign(src Source) int {
+	if b := src.BlockRecs(); b > 0 {
+		return b
+	}
+	return minSegmentRecs
 }
 
 // resolveSegments turns Options.Segments into an effective segment count.
@@ -648,15 +669,22 @@ func resolveSegments(opts Options, n int) int {
 
 // sliceSequential is the single-goroutine reverse walk: the reference
 // semantics every other engine must reproduce bit for bit.
-func sliceSequential(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
-	maxReg := maxRegOf(t.Recs, 0, len(t.Recs))
+func sliceSequential(src Source, deps *cdg.Deps, cs []Criteria, opts Options) ([]*Result, error) {
+	t := src.Shell()
+	n := src.NumRecs()
+	buf := getRecBuf()
+	defer putRecBuf(buf)
+	maxReg, err := maxRegOfSource(src, 0, n, buf)
+	if err != nil {
+		return nil, err
+	}
 	states := make([]*sliceState, len(cs))
 	for k, c := range cs {
 		live := opts.Live
 		if live == nil {
 			live = getWordSet()
 		}
-		states[k] = newSliceState(t, deps, c, opts, live, maxReg)
+		states[k] = newSliceState(t, deps, c, opts, live, maxReg, n)
 	}
 	defer func() {
 		for _, s := range states {
@@ -671,14 +699,25 @@ func sliceSequential(t *trace.Trace, deps *cdg.Deps, cs []Criteria, opts Options
 			}
 		}
 	}()
-	for i := len(t.Recs) - 1; i >= 0; i-- {
-		if opts.Canceled != nil && i&(cancelStride-1) == 0 && opts.Canceled() {
-			return nil, ErrCanceled
+	canceled := false
+	err = reverseWindows(src, 0, n, buf, func(wlo int, recs []trace.Rec) bool {
+		for i := wlo + len(recs) - 1; i >= wlo; i-- {
+			if opts.Canceled != nil && i&(cancelStride-1) == 0 && opts.Canceled() {
+				canceled = true
+				return false
+			}
+			r := &recs[i-wlo]
+			for _, s := range states {
+				s.step(i, r)
+			}
 		}
-		r := &t.Recs[i]
-		for _, s := range states {
-			s.step(i, r)
-		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if canceled {
+		return nil, ErrCanceled
 	}
 	out := make([]*Result, len(states))
 	for k, s := range states {

@@ -37,6 +37,18 @@ func TraceKey(t *trace.Trace) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// TraceKeyV3 returns the content address of a block-compressed (v3) trace
+// WITHOUT materializing its records: the key is defined over the canonical
+// v2 serialization, which BlockReader.WriteV2 reproduces byte-for-byte, so
+// the same trace gets the same address whichever format carried it.
+func TraceKeyV3(br *trace.BlockReader) (string, error) {
+	h := sha256.New()
+	if err := br.WriteV2(h); err != nil {
+		return "", fmt.Errorf("store: hashing trace: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // KeyBytes returns the hex SHA-256 of raw bytes (for hashing an already-
 // encoded trace without decoding it).
 func KeyBytes(b []byte) string {

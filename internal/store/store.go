@@ -6,9 +6,15 @@
 // stable storage" for exactly this reuse; see DESIGN.md).
 //
 // Blobs live in a byte-bounded in-memory LRU layer over optional disk
-// persistence. Disk blobs carry the trace format's CRC32 integrity
-// trailer, are written atomically (temp file + rename), and a corrupt blob
-// is reported and deleted rather than decoded into garbage.
+// persistence. Blobs are compressed at rest: the envelope deflates the
+// payload on Put and both layers hold the sealed (compressed) bytes, so
+// the LRU byte gauge measures exactly what an eviction frees and what a
+// disk blob occupies. Gets inflate on the way out — artifacts are read
+// once per analysis, so the cache trades a little decode CPU for holding
+// 2x+ more artifacts in the same budget. Disk blobs carry the trace
+// format's CRC32 integrity trailer, are written atomically (temp file +
+// rename), and a corrupt blob is reported and deleted rather than decoded
+// into garbage.
 //
 // The store is a cache, and it degrades like one: a circuit breaker (see
 // breaker.go) watches disk I/O errors and, once the disk is demonstrably
@@ -19,11 +25,14 @@
 package store
 
 import (
+	"bytes"
+	"compress/flate"
 	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"path/filepath"
 	"strings"
@@ -31,18 +40,26 @@ import (
 	"sync/atomic"
 )
 
-// Blob envelope: magic, one version byte, payload, then the same trailer
+// Blob envelope: magic, one version byte, body, then the same trailer
 // shape as the trace format ("WSCK" + little-endian CRC32 of everything
-// before it).
+// before it). Version 2 bodies are uvarint(logical length) followed by the
+// deflate stream of the payload; version 1 bodies are the raw payload and
+// remain readable so a store directory written before compression-at-rest
+// keeps serving.
 var (
 	blobMagic    = [4]byte{'W', 'S', 'A', 'B'}
 	trailerMagic = [4]byte{'W', 'S', 'C', 'K'}
 )
 
 const (
-	blobVersion = 1
-	headerSize  = 5 // magic + version
-	trailerSize = 8 // trailer magic + CRC32
+	blobVersion    = 2 // compressed body
+	blobVersionRaw = 1 // legacy uncompressed body
+	headerSize     = 5 // magic + version
+	trailerSize    = 8 // trailer magic + CRC32
+
+	// maxLogicalBytes caps the declared decompressed size of a blob, so a
+	// damaged or hostile length field can't become an allocation bomb.
+	maxLogicalBytes = 1 << 30
 )
 
 // ErrCorrupt reports a blob whose checksum or framing failed verification.
@@ -80,6 +97,8 @@ type Store struct {
 	hits, misses, memHits, diskHits, puts, evicted, corrupt atomic.Int64
 }
 
+// memEntry holds one sealed (compressed) blob; the LRU byte gauge sums
+// len(data) over entries, i.e. at-rest sizes, never logical sizes.
 type memEntry struct {
 	name string
 	data []byte
@@ -148,11 +167,14 @@ func (s *Store) path(name string) string { return filepath.Join(s.dir, name+".ws
 // further disk writes once the disk is demonstrably erroring.
 func (s *Store) Put(kind, key string, data []byte) error {
 	n := name(kind, key)
+	// Seal once — the same compressed blob goes to disk and into the LRU,
+	// so the memory layer holds exactly the at-rest bytes (and, since seal
+	// copies, later caller mutations can't alias in).
+	blob := seal(data)
 	if s.dir != "" && s.br.allow() {
-		s.br.record(s.diskWrite(n, seal(data)) == nil)
+		s.br.record(s.diskWrite(n, blob) == nil)
 	}
-	// The LRU keeps its own copy so later caller mutations can't alias in.
-	s.memInsert(n, append([]byte(nil), data...))
+	s.memInsert(n, blob)
 	s.puts.Add(1)
 	return nil
 }
@@ -186,8 +208,15 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 	s.mu.Lock()
 	if el, ok := s.mem[n]; ok {
 		s.lru.MoveToFront(el)
-		data := el.Value.(*memEntry).data
+		blob := el.Value.(*memEntry).data
 		s.mu.Unlock()
+		data, err := unseal(blob)
+		if err != nil {
+			// Only reachable if the process's own memory was scribbled on;
+			// treat it like any other corrupt artifact.
+			s.dropCorrupt(kind, key)
+			return nil, false, fmt.Errorf("store: get %s: %w", n, err)
+		}
 		s.memHits.Add(1)
 		s.hits.Add(1)
 		return data, true, nil
@@ -215,7 +244,9 @@ func (s *Store) Get(kind, key string) ([]byte, bool, error) {
 		s.fsys.Remove(s.path(n))
 		return nil, false, fmt.Errorf("store: get %s: %w", n, err)
 	}
-	s.memPromote(n, data)
+	// Promote the sealed bytes, not the inflated payload — the memory layer
+	// always accounts at-rest sizes.
+	s.memPromote(n, blob)
 	s.diskHits.Add(1)
 	s.hits.Add(1)
 	return data, true, nil
@@ -254,7 +285,10 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// MemBytes returns the bytes currently held by the LRU layer.
+// MemBytes returns the bytes currently held by the LRU layer. Entries are
+// stored sealed, so this is compressed (at-rest) size — the same quantity
+// the maxMem budget bounds and an eviction frees — not the logical payload
+// size callers see from Get.
 func (s *Store) MemBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -327,19 +361,24 @@ func (s *Store) dropCorrupt(kind, key string) {
 	}
 }
 
-// seal wraps payload in the blob envelope: header, payload, CRC trailer.
+// seal wraps payload in the v2 blob envelope: header, logical length,
+// deflated payload, CRC trailer.
 func seal(payload []byte) []byte {
-	out := make([]byte, 0, headerSize+len(payload)+trailerSize)
-	out = append(out, blobMagic[:]...)
-	out = append(out, blobVersion)
-	out = append(out, payload...)
-	crc := crc32.ChecksumIEEE(out)
-	out = append(out, trailerMagic[:]...)
-	out = binary.LittleEndian.AppendUint32(out, crc)
-	return out
+	var buf bytes.Buffer
+	buf.Grow(headerSize + binary.MaxVarintLen64 + len(payload)/2 + trailerSize)
+	buf.Write(blobMagic[:])
+	buf.WriteByte(blobVersion)
+	var lenBuf [binary.MaxVarintLen64]byte
+	buf.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(payload)))])
+	zw, _ := flate.NewWriter(&buf, flate.DefaultCompression)
+	zw.Write(payload) // Buffer writes cannot fail
+	zw.Close()
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	out := append(buf.Bytes(), trailerMagic[:]...)
+	return binary.LittleEndian.AppendUint32(out, crc)
 }
 
-// unseal verifies the envelope and returns the payload.
+// unseal verifies the envelope and returns the (inflated) payload.
 func unseal(blob []byte) ([]byte, error) {
 	if len(blob) < headerSize+trailerSize {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(blob))
@@ -347,8 +386,9 @@ func unseal(blob []byte) ([]byte, error) {
 	if [4]byte(blob[:4]) != blobMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if blob[4] != blobVersion {
-		return nil, fmt.Errorf("%w: unsupported blob version %d", ErrCorrupt, blob[4])
+	ver := blob[4]
+	if ver != blobVersion && ver != blobVersionRaw {
+		return nil, fmt.Errorf("%w: unsupported blob version %d", ErrCorrupt, ver)
 	}
 	body, tr := blob[:len(blob)-trailerSize], blob[len(blob)-trailerSize:]
 	if [4]byte(tr[:4]) != trailerMagic {
@@ -358,5 +398,26 @@ func unseal(blob []byte) ([]byte, error) {
 	if got := crc32.ChecksumIEEE(body); got != want {
 		return nil, fmt.Errorf("%w: checksum mismatch (file says %08x, contents hash to %08x)", ErrCorrupt, want, got)
 	}
-	return body[headerSize:], nil
+	if ver == blobVersionRaw {
+		return body[headerSize:], nil
+	}
+	rest := body[headerSize:]
+	logical, k := binary.Uvarint(rest)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: truncated logical length", ErrCorrupt)
+	}
+	if logical > maxLogicalBytes {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes exceeds the %d cap", ErrCorrupt, logical, int64(maxLogicalBytes))
+	}
+	zr := flate.NewReader(bytes.NewReader(rest[k:]))
+	out := make([]byte, logical)
+	if _, err := io.ReadFull(zr, out); err != nil {
+		return nil, fmt.Errorf("%w: payload inflate: %v", ErrCorrupt, err)
+	}
+	var extra [1]byte
+	if n, _ := zr.Read(extra[:]); n != 0 {
+		return nil, fmt.Errorf("%w: payload longer than its declared %d bytes", ErrCorrupt, logical)
+	}
+	zr.Close()
+	return out, nil
 }

@@ -104,8 +104,8 @@ func TestCorruptPayloadEvictionDecrementsMemBytes(t *testing.T) {
 	if err := s.Put(KindDeps, "poisoned", junk); err != nil {
 		t.Fatal(err)
 	}
-	if s.MemBytes() != int64(len(junk)) {
-		t.Fatalf("MemBytes = %d after put, want %d", s.MemBytes(), len(junk))
+	if want := int64(len(seal(junk))); s.MemBytes() != want {
+		t.Fatalf("MemBytes = %d after put, want the sealed size %d", s.MemBytes(), want)
 	}
 	_, ok, err := s.GetDeps("poisoned")
 	if ok || !errors.Is(err, ErrCorrupt) {
@@ -163,7 +163,9 @@ func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
 func TestLRUEvictionFallsBackToDisk(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := Open(dir, 1024) // tiny memory budget
-	big := bytes.Repeat([]byte{0x42}, 600)
+	// Incompressible payloads, so each seals to ~its logical size and two
+	// of them genuinely overflow the budget at rest.
+	big := incompressible(700)
 	if err := s.Put("slice", "old", big); err != nil {
 		t.Fatal(err)
 	}

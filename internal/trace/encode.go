@@ -46,7 +46,10 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 	return c.w.Write(p)
 }
 
-// Write serializes the trace.
+// Write serializes the trace in the canonical version-2 format. (WriteV3
+// in v3.go produces the block-compressed streaming format; both decode to
+// identical traces, and v2 remains the canonical byte stream that content
+// addresses are computed over.)
 func (t *Trace) Write(w io.Writer) error {
 	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
 	bw := bufio.NewWriterSize(cw, 1<<20)
@@ -54,63 +57,17 @@ func (t *Trace) Write(w io.Writer) error {
 		return err
 	}
 	putUvarint(bw, formatVersion)
-
-	// Symbol table.
-	putUvarint(bw, uint64(len(t.Funcs)))
-	for _, f := range t.Funcs {
-		putString(bw, f.Name)
-		putString(bw, f.Namespace)
-	}
-	// Threads.
-	putUvarint(bw, uint64(len(t.Threads)))
-	for _, th := range t.Threads {
-		putUvarint(bw, uint64(th.ID))
-		putString(bw, th.Name)
-	}
+	writeV2Tables(bw, t.Funcs, t.Threads)
 
 	// Records: per-field varints with PC delta-encoding against the previous
 	// record of the same thread (consecutive sites are usually adjacent).
 	putUvarint(bw, uint64(len(t.Recs)))
 	var lastPC [256]uint32
 	for i := range t.Recs {
-		r := &t.Recs[i]
-		bw.WriteByte(byte(r.Kind))
-		bw.WriteByte(r.TID)
-		putVarint(bw, int64(r.PC)-int64(lastPC[r.TID]))
-		lastPC[r.TID] = r.PC
-		putUvarint(bw, uint64(r.Dst))
-		putUvarint(bw, uint64(r.Src1))
-		putUvarint(bw, uint64(r.Src2))
-		putUvarint(bw, uint64(r.Addr))
-		putUvarint(bw, uint64(r.Aux))
-		putUvarint(bw, uint64(r.Size))
+		writeV2Rec(bw, &t.Recs[i], &lastPC)
 	}
 
-	// Syscall side table.
-	putUvarint(bw, uint64(len(t.Sys)))
-	for _, i := range sortedKeys(t.Sys) {
-		e := t.Sys[i]
-		putUvarint(bw, uint64(i))
-		putUvarint(bw, uint64(e.Num))
-		putRanges(bw, e.Reads)
-		putRanges(bw, e.Writes)
-	}
-	// Marker side table.
-	putUvarint(bw, uint64(len(t.Marks)))
-	for _, i := range sortedKeys(t.Marks) {
-		m := t.Marks[i]
-		putUvarint(bw, uint64(i))
-		putUvarint(bw, uint64(m.ID))
-		bw.WriteByte(byte(m.Kind))
-		putUvarint(bw, uint64(m.Buf.Addr))
-		putUvarint(bw, uint64(m.Buf.Size))
-	}
-	// Clock checkpoints.
-	putUvarint(bw, uint64(len(t.Clock)))
-	for _, cp := range t.Clock {
-		putUvarint(bw, uint64(cp.Index))
-		putUvarint(bw, cp.Cycle)
-	}
+	writeV2SideTables(bw, t.Sys, t.Marks, t.Clock)
 	if err := bw.Flush(); err != nil {
 		return err
 	}
@@ -120,6 +77,62 @@ func (t *Trace) Write(w io.Writer) error {
 	binary.LittleEndian.PutUint32(tr[4:], cw.crc.Sum32())
 	_, err := w.Write(tr[:])
 	return err
+}
+
+// writeV2Tables emits the symbol and thread tables. Shared between
+// Trace.Write and the v3→v2 transcoder so both produce identical bytes.
+func writeV2Tables(bw *bufio.Writer, funcs []FuncInfo, threads []ThreadInfo) {
+	putUvarint(bw, uint64(len(funcs)))
+	for _, f := range funcs {
+		putString(bw, f.Name)
+		putString(bw, f.Namespace)
+	}
+	putUvarint(bw, uint64(len(threads)))
+	for _, th := range threads {
+		putUvarint(bw, uint64(th.ID))
+		putString(bw, th.Name)
+	}
+}
+
+// writeV2Rec emits one record in the v2 stream encoding, updating the
+// per-thread PC delta state.
+func writeV2Rec(bw *bufio.Writer, r *Rec, lastPC *[256]uint32) {
+	bw.WriteByte(byte(r.Kind))
+	bw.WriteByte(r.TID)
+	putVarint(bw, int64(r.PC)-int64(lastPC[r.TID]))
+	lastPC[r.TID] = r.PC
+	putUvarint(bw, uint64(r.Dst))
+	putUvarint(bw, uint64(r.Src1))
+	putUvarint(bw, uint64(r.Src2))
+	putUvarint(bw, uint64(r.Addr))
+	putUvarint(bw, uint64(r.Aux))
+	putUvarint(bw, uint64(r.Size))
+}
+
+// writeV2SideTables emits the syscall, marker, and clock tables.
+func writeV2SideTables(bw *bufio.Writer, sys map[int]*SysEffect, marks map[int]*Mark, clock []ClockPoint) {
+	putUvarint(bw, uint64(len(sys)))
+	for _, i := range sortedKeys(sys) {
+		e := sys[i]
+		putUvarint(bw, uint64(i))
+		putUvarint(bw, uint64(e.Num))
+		putRanges(bw, e.Reads)
+		putRanges(bw, e.Writes)
+	}
+	putUvarint(bw, uint64(len(marks)))
+	for _, i := range sortedKeys(marks) {
+		m := marks[i]
+		putUvarint(bw, uint64(i))
+		putUvarint(bw, uint64(m.ID))
+		bw.WriteByte(byte(m.Kind))
+		putUvarint(bw, uint64(m.Buf.Addr))
+		putUvarint(bw, uint64(m.Buf.Size))
+	}
+	putUvarint(bw, uint64(len(clock)))
+	for _, cp := range clock {
+		putUvarint(bw, uint64(cp.Index))
+		putUvarint(bw, cp.Cycle)
+	}
 }
 
 // HasMagic reports whether b begins with the WSLT trace magic and a version
@@ -269,51 +282,19 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: checksum mismatch: file says %08x, contents hash to %08x (corrupt trace)", want, got)
 		}
 		d.buf = data[:len(data)-trailerSize]
+	case v3Version:
+		br, err := OpenV3(data)
+		if err != nil {
+			return nil, err
+		}
+		return br.ReadAll()
 	default:
 		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
 	}
 	t := New()
 
-	d.section = "symbol table"
-	// Minimum 2 bytes per function: two empty strings.
-	nf, err := d.count(2)
-	if err != nil {
+	if err := decodeTables(d, t); err != nil {
 		return nil, err
-	}
-	if nf > MaxFuncs {
-		return nil, d.errf("absurd function count %d", nf)
-	}
-	t.Funcs = make([]FuncInfo, nf)
-	for i := range t.Funcs {
-		if t.Funcs[i].Name, err = d.string(); err != nil {
-			return nil, err
-		}
-		if t.Funcs[i].Namespace, err = d.string(); err != nil {
-			return nil, err
-		}
-	}
-
-	d.section = "thread table"
-	nth, err := d.count(2)
-	if err != nil {
-		return nil, err
-	}
-	if nth > 256 {
-		return nil, d.errf("thread count %d exceeds the 256 thread ids", nth)
-	}
-	for i := 0; i < nth; i++ {
-		id, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if id > 255 {
-			return nil, d.errf("thread id %d out of range", id)
-		}
-		name, err := d.string()
-		if err != nil {
-			return nil, err
-		}
-		t.Threads = append(t.Threads, ThreadInfo{ID: uint8(id), Name: name})
 	}
 
 	d.section = "record stream"
@@ -360,86 +341,8 @@ func Read(r io.Reader) (*Trace, error) {
 		r.Size = uint16(sz)
 	}
 
-	d.section = "syscall table"
-	nsys, err := d.count(4)
-	if err != nil {
+	if err := decodeSideTables(d, t, nr); err != nil {
 		return nil, err
-	}
-	for i := 0; i < nsys; i++ {
-		idx, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if idx >= uint64(nr) {
-			return nil, d.errf("syscall effect at record %d, but only %d records", idx, nr)
-		}
-		num, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		e := &SysEffect{Num: isa.Sys(num)}
-		if e.Reads, err = d.ranges(); err != nil {
-			return nil, err
-		}
-		if e.Writes, err = d.ranges(); err != nil {
-			return nil, err
-		}
-		t.Sys[int(idx)] = e
-	}
-
-	d.section = "marker table"
-	nm, err := d.count(5)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < nm; i++ {
-		idx, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if idx >= uint64(nr) {
-			return nil, d.errf("marker at record %d, but only %d records", idx, nr)
-		}
-		id, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		kb, err := d.byte()
-		if err != nil {
-			return nil, err
-		}
-		a, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		sz, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		t.Marks[int(idx)] = &Mark{ID: uint32(id), Kind: isa.MarkKind(kb), Buf: vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}}
-	}
-
-	d.section = "clock checkpoints"
-	nc, err := d.count(2)
-	if err != nil {
-		return nil, err
-	}
-	if nc > 0 {
-		t.Clock = make([]ClockPoint, nc)
-	}
-	for i := range t.Clock {
-		idx, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if idx > uint64(nr) {
-			return nil, d.errf("checkpoint at record %d, but only %d records", idx, nr)
-		}
-		cyc, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		t.Clock[i] = ClockPoint{Index: int(idx), Cycle: cyc}
 	}
 	// Everything decoded; any bytes left over are not part of the format
 	// (an overwritten tail would otherwise vanish silently).
@@ -448,6 +351,141 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, d.errf("%d trailing bytes after the last section", d.remaining())
 	}
 	return t, nil
+}
+
+// decodeTables parses the symbol and thread tables into t. Shared between
+// the v2 stream decoder and the v3 footer decoder.
+func decodeTables(d *decoder, t *Trace) error {
+	d.section = "symbol table"
+	// Minimum 2 bytes per function: two empty strings.
+	nf, err := d.count(2)
+	if err != nil {
+		return err
+	}
+	if nf > MaxFuncs {
+		return d.errf("absurd function count %d", nf)
+	}
+	t.Funcs = make([]FuncInfo, nf)
+	for i := range t.Funcs {
+		if t.Funcs[i].Name, err = d.string(); err != nil {
+			return err
+		}
+		if t.Funcs[i].Namespace, err = d.string(); err != nil {
+			return err
+		}
+	}
+
+	d.section = "thread table"
+	nth, err := d.count(2)
+	if err != nil {
+		return err
+	}
+	if nth > 256 {
+		return d.errf("thread count %d exceeds the 256 thread ids", nth)
+	}
+	for i := 0; i < nth; i++ {
+		id, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if id > 255 {
+			return d.errf("thread id %d out of range", id)
+		}
+		name, err := d.string()
+		if err != nil {
+			return err
+		}
+		t.Threads = append(t.Threads, ThreadInfo{ID: uint8(id), Name: name})
+	}
+	return nil
+}
+
+// decodeSideTables parses the syscall, marker, and clock tables into t,
+// validating every record index against the trace's nr records. Shared
+// between the v2 stream decoder and the v3 footer decoder.
+func decodeSideTables(d *decoder, t *Trace, nr int) error {
+	d.section = "syscall table"
+	nsys, err := d.count(4)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nsys; i++ {
+		idx, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if idx >= uint64(nr) {
+			return d.errf("syscall effect at record %d, but only %d records", idx, nr)
+		}
+		num, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		e := &SysEffect{Num: isa.Sys(num)}
+		if e.Reads, err = d.ranges(); err != nil {
+			return err
+		}
+		if e.Writes, err = d.ranges(); err != nil {
+			return err
+		}
+		t.Sys[int(idx)] = e
+	}
+
+	d.section = "marker table"
+	nm, err := d.count(5)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nm; i++ {
+		idx, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if idx >= uint64(nr) {
+			return d.errf("marker at record %d, but only %d records", idx, nr)
+		}
+		id, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		kb, err := d.byte()
+		if err != nil {
+			return err
+		}
+		a, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		sz, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		t.Marks[int(idx)] = &Mark{ID: uint32(id), Kind: isa.MarkKind(kb), Buf: vmem.Range{Addr: vmem.Addr(a), Size: uint32(sz)}}
+	}
+
+	d.section = "clock checkpoints"
+	nc, err := d.count(2)
+	if err != nil {
+		return err
+	}
+	if nc > 0 {
+		t.Clock = make([]ClockPoint, nc)
+	}
+	for i := range t.Clock {
+		idx, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if idx > uint64(nr) {
+			return d.errf("checkpoint at record %d, but only %d records", idx, nr)
+		}
+		cyc, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		t.Clock[i] = ClockPoint{Index: int(idx), Cycle: cyc}
+	}
+	return nil
 }
 
 func putUvarint(w *bufio.Writer, v uint64) {

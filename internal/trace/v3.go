@@ -1,0 +1,842 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"webslice/internal/isa"
+	"webslice/internal/vmem"
+)
+
+// Trace format version 3: a block-based, column-oriented encoding built for
+// traces too large to hold in memory. Where v2 is one flat record stream
+// (decode-all-or-nothing), v3 splits the record stream into fixed-size blocks
+// that compress and decode independently, so the slicer's segmented backward
+// pass can walk a trace one block at a time with bounded peak RSS.
+//
+// Layout:
+//
+//	header    "WSLT" ver=3 blockRecs crc32(header)
+//	block*    tag=0x01 uvarint(len) <flate(columns)> crc32(payload)
+//	footer    tag=0x02 uvarint(len) <symbol/thread/sys/mark/clock tables> crc32(payload)
+//	index     uvarint(footerOff) uvarint(nBlocks) (offΔ count)* crc32(index)
+//	tail      u64le(indexOff) crc32(those 8 bytes) "WS3K"
+//
+// Each block body holds exactly blockRecs records (the final block may hold
+// fewer) transposed into columns: kinds and thread IDs run-length encoded,
+// PCs and addresses as per-thread zigzag deltas (state resets at each block
+// boundary so blocks stay independently decodable), registers/aux as raw
+// uvarints, sizes run-length encoded. The concatenated columns are then
+// DEFLATE-compressed. Every section carries its own CRC32, and the fixed
+// 16-byte tail lets a reader locate the index — and from it every block —
+// without scanning the file.
+//
+// The symbol and side tables live in the *footer* rather than the header so a
+// streaming BlockWriter needs no up-front knowledge of them; they are only
+// complete once the last record has been observed.
+//
+// v2 remains the canonical byte stream: content addresses (store.TraceKey)
+// are defined over the v2 encoding, and BlockReader.WriteV2 transcodes a v3
+// file back to byte-identical v2 without materializing the record slice.
+
+const (
+	v3Version = 3
+	// DefaultBlockRecs is the records-per-block used by Trace.WriteV3. It is
+	// a multiple of 64 so slicer segment boundaries planned on block bounds
+	// keep the bitset-word disjointness the parallel scan relies on.
+	DefaultBlockRecs = 4096
+	// maxBlockRecs bounds attacker-controlled block sizes at open time.
+	maxBlockRecs = 1 << 20
+
+	v3TagBlock  = 0x01
+	v3TagFooter = 0x02
+	v3TailSize  = 16 // u64 index offset + crc32 + "WS3K"
+)
+
+var v3TailMagic = [4]byte{'W', 'S', '3', 'K'}
+
+// FormatVersion sniffs the trace format version of an encoded buffer without
+// decoding it: 0 if b is not a WSLT trace at all, otherwise the version
+// claimed by the header (1, 2, or 3 for well-formed traces).
+func FormatVersion(b []byte) int {
+	if !HasMagic(b) {
+		return 0
+	}
+	v, n := binary.Uvarint(b[4:])
+	if n <= 0 || v > 1<<20 {
+		return 0
+	}
+	return int(v)
+}
+
+// BlockWriter streams a trace out in format v3 one record at a time. Records
+// are buffered until a block fills, then compressed and flushed; Finish
+// writes the footer tables, the block index, and the tail. The writer never
+// holds more than one block of records in memory.
+type BlockWriter struct {
+	bw        *bufio.Writer
+	off       int64 // logical bytes emitted (independent of bufio buffering)
+	blockRecs int
+	pend      []Rec
+	count     int // total records added
+	index     []v3BlockIndex
+	cols      []byte // scratch: raw columnar body
+	comp      bytes.Buffer
+	fw        *flate.Writer
+	finished  bool
+	err       error
+}
+
+type v3BlockIndex struct {
+	off   int64
+	count int
+}
+
+// NewBlockWriter starts a v3 stream on w. blockRecs ≤ 0 selects
+// DefaultBlockRecs; other values are rounded up to a multiple of 64.
+func NewBlockWriter(w io.Writer, blockRecs int) *BlockWriter {
+	if blockRecs <= 0 {
+		blockRecs = DefaultBlockRecs
+	}
+	blockRecs = (blockRecs + 63) &^ 63
+	if blockRecs > maxBlockRecs {
+		blockRecs = maxBlockRecs
+	}
+	fw, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+	b := &BlockWriter{
+		bw:        bufio.NewWriterSize(w, 1<<20),
+		blockRecs: blockRecs,
+		pend:      make([]Rec, 0, blockRecs),
+		fw:        fw,
+	}
+	hdr := append([]byte{}, magic[:]...)
+	hdr = binary.AppendUvarint(hdr, v3Version)
+	hdr = binary.AppendUvarint(hdr, uint64(blockRecs))
+	b.writeBytes(hdr)
+	b.writeU32(crc32.ChecksumIEEE(hdr))
+	return b
+}
+
+func (b *BlockWriter) writeBytes(p []byte) {
+	if b.err == nil {
+		_, b.err = b.bw.Write(p)
+	}
+	b.off += int64(len(p))
+}
+
+func (b *BlockWriter) writeU32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.writeBytes(buf[:])
+}
+
+// Add appends one record to the stream, flushing a compressed block whenever
+// blockRecs records have accumulated.
+func (b *BlockWriter) Add(r Rec) {
+	b.pend = append(b.pend, r)
+	b.count++
+	if len(b.pend) == b.blockRecs {
+		b.flushBlock()
+	}
+}
+
+// NumRecs returns the number of records added so far.
+func (b *BlockWriter) NumRecs() int { return b.count }
+
+func (b *BlockWriter) flushBlock() {
+	if len(b.pend) == 0 {
+		return
+	}
+	b.cols = appendColumns(b.cols[:0], b.pend)
+	b.comp.Reset()
+	b.fw.Reset(&b.comp)
+	if _, err := b.fw.Write(b.cols); err != nil && b.err == nil {
+		b.err = err
+	}
+	if err := b.fw.Close(); err != nil && b.err == nil {
+		b.err = err
+	}
+	b.index = append(b.index, v3BlockIndex{off: b.off, count: len(b.pend)})
+	b.writeBytes([]byte{v3TagBlock})
+	var lenBuf [binary.MaxVarintLen64]byte
+	b.writeBytes(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(b.comp.Len()))])
+	payload := b.comp.Bytes()
+	b.writeBytes(payload)
+	b.writeU32(crc32.ChecksumIEEE(payload))
+	b.pend = b.pend[:0]
+}
+
+// Finish flushes the final partial block and writes the footer (symbol,
+// thread, syscall, marker, and clock tables), the block index, and the tail.
+// The writer must not be used afterwards.
+func (b *BlockWriter) Finish(funcs []FuncInfo, threads []ThreadInfo, sys map[int]*SysEffect, marks map[int]*Mark, clock []ClockPoint) error {
+	if b.finished {
+		return b.err
+	}
+	b.finished = true
+	b.flushBlock()
+
+	footOff := b.off
+	foot := appendFooter(nil, funcs, threads, sys, marks, clock)
+	b.writeBytes([]byte{v3TagFooter})
+	var lenBuf [binary.MaxVarintLen64]byte
+	b.writeBytes(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(foot)))])
+	b.writeBytes(foot)
+	b.writeU32(crc32.ChecksumIEEE(foot))
+
+	indexOff := b.off
+	idx := binary.AppendUvarint(nil, uint64(footOff))
+	idx = binary.AppendUvarint(idx, uint64(len(b.index)))
+	prev := int64(0)
+	for _, e := range b.index {
+		idx = binary.AppendUvarint(idx, uint64(e.off-prev))
+		idx = binary.AppendUvarint(idx, uint64(e.count))
+		prev = e.off
+	}
+	b.writeBytes(idx)
+	b.writeU32(crc32.ChecksumIEEE(idx))
+
+	var tail [v3TailSize]byte
+	binary.LittleEndian.PutUint64(tail[:8], uint64(indexOff))
+	binary.LittleEndian.PutUint32(tail[8:12], crc32.ChecksumIEEE(tail[:8]))
+	copy(tail[12:], v3TailMagic[:])
+	b.writeBytes(tail[:])
+
+	if err := b.bw.Flush(); err != nil && b.err == nil {
+		b.err = err
+	}
+	return b.err
+}
+
+// WriteV3 serializes the trace in block-compressed format v3 with the
+// default block size.
+func (t *Trace) WriteV3(w io.Writer) error { return t.WriteV3Blocks(w, DefaultBlockRecs) }
+
+// WriteV3Blocks serializes the trace in format v3 with an explicit
+// records-per-block (rounded up to a multiple of 64).
+func (t *Trace) WriteV3Blocks(w io.Writer, blockRecs int) error {
+	bw := NewBlockWriter(w, blockRecs)
+	for i := range t.Recs {
+		bw.Add(t.Recs[i])
+	}
+	return bw.Finish(t.Funcs, t.Threads, t.Sys, t.Marks, t.Clock)
+}
+
+// appendColumns transposes one block of records into the v3 column layout.
+func appendColumns(b []byte, recs []Rec) []byte {
+	n := len(recs)
+	b = binary.AppendUvarint(b, uint64(n))
+	// Kinds, run-length encoded: pages of same-kind records are long.
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && recs[j].Kind == recs[i].Kind {
+			j++
+		}
+		b = append(b, byte(recs[i].Kind))
+		b = binary.AppendUvarint(b, uint64(j-i))
+		i = j
+	}
+	// Thread IDs, run-length encoded: scheduling quanta are long.
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && recs[j].TID == recs[i].TID {
+			j++
+		}
+		b = append(b, recs[i].TID)
+		b = binary.AppendUvarint(b, uint64(j-i))
+		i = j
+	}
+	// PCs: per-thread deltas (consecutive sites are usually adjacent). State
+	// resets every block so blocks decode independently.
+	var lastPC [256]uint32
+	for i := range recs {
+		r := &recs[i]
+		b = binary.AppendVarint(b, int64(r.PC)-int64(lastPC[r.TID]))
+		lastPC[r.TID] = r.PC
+	}
+	for i := range recs {
+		b = binary.AppendUvarint(b, uint64(recs[i].Dst))
+	}
+	for i := range recs {
+		b = binary.AppendUvarint(b, uint64(recs[i].Src1))
+	}
+	for i := range recs {
+		b = binary.AppendUvarint(b, uint64(recs[i].Src2))
+	}
+	// Addresses: per-thread deltas (sequential access patterns dominate).
+	var lastAddr [256]uint32
+	for i := range recs {
+		r := &recs[i]
+		b = binary.AppendVarint(b, int64(r.Addr)-int64(lastAddr[r.TID]))
+		lastAddr[r.TID] = uint32(r.Addr)
+	}
+	for i := range recs {
+		b = binary.AppendUvarint(b, uint64(recs[i].Aux))
+	}
+	// Sizes, run-length encoded: most records share a handful of sizes.
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && recs[j].Size == recs[i].Size {
+			j++
+		}
+		b = binary.AppendUvarint(b, uint64(recs[i].Size))
+		b = binary.AppendUvarint(b, uint64(j-i))
+		i = j
+	}
+	return b
+}
+
+// appendFooter encodes the symbol/thread/syscall/marker/clock tables with the
+// same per-field encodings as v2.
+func appendFooter(b []byte, funcs []FuncInfo, threads []ThreadInfo, sys map[int]*SysEffect, marks map[int]*Mark, clock []ClockPoint) []byte {
+	b = binary.AppendUvarint(b, uint64(len(funcs)))
+	for _, f := range funcs {
+		b = appendString(b, f.Name)
+		b = appendString(b, f.Namespace)
+	}
+	b = binary.AppendUvarint(b, uint64(len(threads)))
+	for _, th := range threads {
+		b = binary.AppendUvarint(b, uint64(th.ID))
+		b = appendString(b, th.Name)
+	}
+	b = binary.AppendUvarint(b, uint64(len(sys)))
+	for _, i := range sortedKeys(sys) {
+		e := sys[i]
+		b = binary.AppendUvarint(b, uint64(i))
+		b = binary.AppendUvarint(b, uint64(e.Num))
+		b = appendRanges(b, e.Reads)
+		b = appendRanges(b, e.Writes)
+	}
+	b = binary.AppendUvarint(b, uint64(len(marks)))
+	for _, i := range sortedKeys(marks) {
+		m := marks[i]
+		b = binary.AppendUvarint(b, uint64(i))
+		b = binary.AppendUvarint(b, uint64(m.ID))
+		b = append(b, byte(m.Kind))
+		b = binary.AppendUvarint(b, uint64(m.Buf.Addr))
+		b = binary.AppendUvarint(b, uint64(m.Buf.Size))
+	}
+	b = binary.AppendUvarint(b, uint64(len(clock)))
+	for _, cp := range clock {
+		b = binary.AppendUvarint(b, uint64(cp.Index))
+		b = binary.AppendUvarint(b, cp.Cycle)
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendRanges(b []byte, rs []vmem.Range) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rs)))
+	for _, r := range rs {
+		b = binary.AppendUvarint(b, uint64(r.Addr))
+		b = binary.AppendUvarint(b, uint64(r.Size))
+	}
+	return b
+}
+
+// BlockReader gives random and streaming access to a v3 trace without
+// materializing the record slice. Open verifies the header, index, and
+// footer checksums and the structural accounting of every byte in the file;
+// block payload checksums are verified lazily by DecodeBlock so opening a
+// multi-gigabyte trace stays O(index).
+type BlockReader struct {
+	blockRecs int
+	n         int
+	shell     *Trace // side tables populated, Recs nil
+	blocks    []v3BlockMeta
+}
+
+type v3BlockMeta struct {
+	body  []byte // compressed column payload
+	crc   uint32
+	start int
+	count int
+}
+
+// OpenV3 parses a v3 trace held in memory (typically an mmap or a store
+// blob) and returns a reader over its blocks.
+func OpenV3(data []byte) (*BlockReader, error) {
+	d := &decoder{buf: data, section: "v3 header"}
+	if len(data) < len(magic)+2+4+v3TailSize {
+		return nil, d.errf("input shorter than the minimal v3 frame")
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, d.errf("bad magic (not a WSLT trace)")
+	}
+	d.pos = 4
+	ver, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != v3Version {
+		return nil, d.errf("format version %d, want %d", ver, v3Version)
+	}
+	blockRecs64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	hdrEnd := d.pos
+	if d.remaining() < 4 {
+		return nil, d.errf("truncated header checksum")
+	}
+	if got, want := crc32.ChecksumIEEE(data[:hdrEnd]), binary.LittleEndian.Uint32(data[hdrEnd:]); got != want {
+		return nil, d.errf("header checksum mismatch: file says %08x, contents hash to %08x", want, got)
+	}
+	if blockRecs64 < 64 || blockRecs64 > maxBlockRecs || blockRecs64%64 != 0 {
+		return nil, d.errf("bad block size %d (want a multiple of 64 in [64,%d])", blockRecs64, maxBlockRecs)
+	}
+	blockRecs := int(blockRecs64)
+	blocksStart := hdrEnd + 4
+
+	// Tail: fixed 16 bytes locating the index.
+	d.section = "v3 tail"
+	tailStart := len(data) - v3TailSize
+	d.pos = tailStart
+	if [4]byte(data[tailStart+12:]) != v3TailMagic {
+		return nil, d.errf("tail magic missing (truncated or overwritten file)")
+	}
+	if got, want := crc32.ChecksumIEEE(data[tailStart:tailStart+8]), binary.LittleEndian.Uint32(data[tailStart+8:]); got != want {
+		return nil, d.errf("tail checksum mismatch: file says %08x, contents hash to %08x", want, got)
+	}
+	indexOff64 := binary.LittleEndian.Uint64(data[tailStart:])
+	if indexOff64 < uint64(blocksStart) || indexOff64 > uint64(tailStart-4) {
+		return nil, d.errf("index offset %d outside the file body", indexOff64)
+	}
+	indexOff := int(indexOff64)
+
+	// Index: footer offset plus per-block (offset, record count).
+	d.section = "v3 index"
+	d.pos = indexOff
+	idxBody := data[indexOff : tailStart-4]
+	if got, want := crc32.ChecksumIEEE(idxBody), binary.LittleEndian.Uint32(data[tailStart-4:]); got != want {
+		return nil, d.errf("index checksum mismatch: file says %08x, contents hash to %08x", want, got)
+	}
+	d.buf = data[:tailStart-4]
+	footOff64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if footOff64 < uint64(blocksStart) || footOff64 > uint64(indexOff) {
+		return nil, d.errf("footer offset %d outside [%d,%d]", footOff64, blocksStart, indexOff)
+	}
+	footOff := int(footOff64)
+	nBlocks, err := d.count(2)
+	if err != nil {
+		return nil, err
+	}
+	br := &BlockReader{blockRecs: blockRecs, blocks: make([]v3BlockMeta, nBlocks)}
+	prevOff := int64(0)
+	for i := range br.blocks {
+		delta, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Guard in uint64 before forming off: a hostile delta must not wrap
+		// the offset past the footer (or negative).
+		if delta >= uint64(int64(footOff)-prevOff) {
+			return nil, d.errf("block %d offset overlaps the footer at %d", i, footOff)
+		}
+		off := prevOff + int64(delta)
+		if i == 0 && off != int64(blocksStart) {
+			return nil, d.errf("first block at offset %d, want %d", off, blocksStart)
+		}
+		if i > 0 && delta == 0 {
+			return nil, d.errf("block %d offset does not advance", i)
+		}
+		cnt, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cnt == 0 || cnt > uint64(blockRecs) {
+			return nil, d.errf("block %d record count %d outside (0,%d]", i, cnt, blockRecs)
+		}
+		if i < nBlocks-1 && cnt != uint64(blockRecs) {
+			return nil, d.errf("non-final block %d holds %d records, want %d", i, cnt, blockRecs)
+		}
+		br.blocks[i] = v3BlockMeta{start: br.n, count: int(cnt)}
+		br.n += int(cnt)
+		prevOff = off
+		// Stash the offset in body temporarily; resolved below once the
+		// block framing is parsed.
+		br.blocks[i].body = data[off:]
+	}
+	if d.pos != tailStart-4 {
+		return nil, d.errf("%d trailing bytes after the block index", tailStart-4-d.pos)
+	}
+	if nBlocks == 0 && footOff != blocksStart {
+		return nil, d.errf("empty trace but footer at %d, want %d", footOff, blocksStart)
+	}
+
+	// Block framing: every byte between the header and the footer must be
+	// accounted for by exactly the indexed blocks.
+	d.buf = data
+	d.section = "v3 block"
+	next := blocksStart
+	for i := range br.blocks {
+		off := len(data) - len(br.blocks[i].body)
+		if off != next {
+			return nil, d.errf("block %d at offset %d, want %d (gap or overlap)", i, off, next)
+		}
+		d.pos = off
+		tag, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if tag != v3TagBlock {
+			return nil, d.errf("block %d has tag %#x, want %#x", i, tag, v3TagBlock)
+		}
+		bodyLen, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if bodyLen > uint64(footOff-d.pos-4) {
+			return nil, d.errf("block %d payload length %d exceeds the %d bytes before the footer", i, bodyLen, footOff-d.pos-4)
+		}
+		body := data[d.pos : d.pos+int(bodyLen)]
+		d.pos += int(bodyLen)
+		crc := binary.LittleEndian.Uint32(data[d.pos:])
+		d.pos += 4
+		br.blocks[i].body = body
+		br.blocks[i].crc = crc
+		next = d.pos
+	}
+	if next != footOff {
+		return nil, d.errf("%d unaccounted bytes between the last block and the footer", footOff-next)
+	}
+
+	// Footer: symbol and side tables.
+	d.section = "v3 footer"
+	d.pos = footOff
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if tag != v3TagFooter {
+		return nil, d.errf("footer tag %#x, want %#x", tag, v3TagFooter)
+	}
+	footLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if footLen > uint64(indexOff-d.pos-4) {
+		return nil, d.errf("footer length %d exceeds the %d bytes before the index", footLen, indexOff-d.pos-4)
+	}
+	foot := data[d.pos : d.pos+int(footLen)]
+	if d.pos+int(footLen)+4 != indexOff {
+		return nil, d.errf("%d unaccounted bytes between the footer and the index", indexOff-(d.pos+int(footLen)+4))
+	}
+	if got, want := crc32.ChecksumIEEE(foot), binary.LittleEndian.Uint32(data[d.pos+int(footLen):]); got != want {
+		return nil, d.errf("footer checksum mismatch: file says %08x, contents hash to %08x", want, got)
+	}
+	fd := &decoder{buf: foot, section: "v3 footer"}
+	shell := New()
+	if err := decodeTables(fd, shell); err != nil {
+		return nil, err
+	}
+	if err := decodeSideTables(fd, shell, br.n); err != nil {
+		return nil, err
+	}
+	if fd.remaining() != 0 {
+		fd.section = "v3 footer"
+		return nil, fd.errf("%d trailing bytes after the last footer table", fd.remaining())
+	}
+	br.shell = shell
+	return br, nil
+}
+
+// NumRecs returns the total record count.
+func (br *BlockReader) NumRecs() int { return br.n }
+
+// NumBlocks returns the number of blocks.
+func (br *BlockReader) NumBlocks() int { return len(br.blocks) }
+
+// BlockRecs returns the records-per-block the file was written with.
+func (br *BlockReader) BlockRecs() int { return br.blockRecs }
+
+// BlockBounds returns the half-open record-index range [start,end) held by
+// block i.
+func (br *BlockReader) BlockBounds(i int) (start, end int) {
+	m := &br.blocks[i]
+	return m.start, m.start + m.count
+}
+
+// BlockOf returns the block holding record index i.
+func (br *BlockReader) BlockOf(i int) int { return i / br.blockRecs }
+
+// Shell returns the trace's symbol and side tables with a nil record slice.
+// Criteria evaluation and categorization need only the shell. The returned
+// trace is shared with the reader and must not be mutated.
+func (br *BlockReader) Shell() *Trace { return br.shell }
+
+// inflater pools a flate reader plus scratch output buffer so concurrent
+// per-block decodes do not allocate a decompressor each.
+type inflater struct {
+	fr  io.ReadCloser
+	src bytes.Reader
+	buf []byte
+}
+
+var inflaterPool = sync.Pool{New: func() any {
+	return &inflater{fr: flate.NewReader(bytes.NewReader(nil))}
+}}
+
+func (in *inflater) inflate(comp []byte) ([]byte, error) {
+	in.src.Reset(comp)
+	if err := in.fr.(flate.Resetter).Reset(&in.src, nil); err != nil {
+		return nil, err
+	}
+	out := in.buf[:0]
+	for {
+		if len(out) == cap(out) {
+			out = append(out, 0)[:len(out)]
+		}
+		n, err := in.fr.Read(out[len(out):cap(out)])
+		out = out[:len(out)+n]
+		if err == io.EOF {
+			in.buf = out
+			return out, nil
+		}
+		if err != nil {
+			in.buf = out
+			return nil, err
+		}
+	}
+}
+
+// DecodeBlock verifies and decompresses block i into dst, reusing dst's
+// backing array when it has capacity. The returned slice holds exactly the
+// block's records.
+func (br *BlockReader) DecodeBlock(i int, dst []Rec) ([]Rec, error) {
+	m := &br.blocks[i]
+	d := &decoder{buf: m.body, section: "v3 block payload"}
+	if got := crc32.ChecksumIEEE(m.body); got != m.crc {
+		return nil, d.errf("block %d checksum mismatch: file says %08x, contents hash to %08x", i, m.crc, got)
+	}
+	in := inflaterPool.Get().(*inflater)
+	raw, err := in.inflate(m.body)
+	if err != nil {
+		inflaterPool.Put(in)
+		return nil, &DecodeError{Section: "v3 block payload", Offset: 0, Msg: "block " + itoa(i) + ": " + err.Error()}
+	}
+	dst, derr := decodeColumns(raw, m.count, dst)
+	inflaterPool.Put(in)
+	if derr != nil {
+		return nil, derr
+	}
+	return dst, nil
+}
+
+// decodeColumns parses one block's decompressed column payload into records.
+func decodeColumns(raw []byte, want int, dst []Rec) ([]Rec, error) {
+	d := &decoder{buf: raw, section: "v3 block columns"}
+	n64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n64 != uint64(want) {
+		return nil, d.errf("block holds %d records, index says %d", n64, want)
+	}
+	n := int(n64)
+	if cap(dst) < n {
+		dst = make([]Rec, n)
+	} else {
+		dst = dst[:n]
+	}
+	// Kinds (RLE).
+	for i := 0; i < n; {
+		kb, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		run, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if run == 0 || run > uint64(n-i) {
+			return nil, d.errf("kind run of %d at record %d overruns the block", run, i)
+		}
+		for j := 0; j < int(run); j++ {
+			dst[i+j].Kind = isa.Kind(kb)
+		}
+		i += int(run)
+	}
+	// Thread IDs (RLE).
+	for i := 0; i < n; {
+		tid, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		run, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if run == 0 || run > uint64(n-i) {
+			return nil, d.errf("thread run of %d at record %d overruns the block", run, i)
+		}
+		for j := 0; j < int(run); j++ {
+			dst[i+j].TID = tid
+		}
+		i += int(run)
+	}
+	// PCs (per-thread delta).
+	var lastPC [256]uint32
+	for i := 0; i < n; i++ {
+		delta, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		r := &dst[i]
+		r.PC = uint32(int64(lastPC[r.TID]) + delta)
+		lastPC[r.TID] = r.PC
+	}
+	// Registers and aux.
+	for i := 0; i < n; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dst[i].Dst = isa.Reg(uint32(v))
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dst[i].Src1 = isa.Reg(uint32(v))
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dst[i].Src2 = isa.Reg(uint32(v))
+	}
+	// Addresses (per-thread delta).
+	var lastAddr [256]uint32
+	for i := 0; i < n; i++ {
+		delta, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		r := &dst[i]
+		a := uint32(int64(lastAddr[r.TID]) + delta)
+		r.Addr = vmem.Addr(a)
+		lastAddr[r.TID] = a
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dst[i].Aux = uint32(v)
+	}
+	// Sizes (RLE).
+	for i := 0; i < n; {
+		sz, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if sz > 0xFFFF {
+			return nil, d.errf("record %d access size %d overflows", i, sz)
+		}
+		run, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if run == 0 || run > uint64(n-i) {
+			return nil, d.errf("size run of %d at record %d overruns the block", run, i)
+		}
+		for j := 0; j < int(run); j++ {
+			dst[i+j].Size = uint16(sz)
+		}
+		i += int(run)
+	}
+	if d.remaining() != 0 {
+		return nil, d.errf("%d trailing bytes after the size column", d.remaining())
+	}
+	return dst, nil
+}
+
+// ReadAll materializes the whole trace. The side tables are shared with the
+// reader's shell.
+func (br *BlockReader) ReadAll() (*Trace, error) {
+	t := &Trace{
+		Funcs:   br.shell.Funcs,
+		Threads: br.shell.Threads,
+		Sys:     br.shell.Sys,
+		Marks:   br.shell.Marks,
+		Clock:   br.shell.Clock,
+	}
+	if br.n > 0 {
+		t.Recs = make([]Rec, 0, br.n)
+	}
+	for i := range br.blocks {
+		recs, err := br.DecodeBlock(i, t.Recs[len(t.Recs):cap(t.Recs)])
+		if err != nil {
+			return nil, err
+		}
+		t.Recs = t.Recs[:len(t.Recs)+len(recs)]
+	}
+	return t, nil
+}
+
+// WriteV2 transcodes the v3 stream into the canonical v2 encoding, one block
+// at a time, producing bytes identical to Trace.Write on the materialized
+// trace. Content addresses are defined over this encoding, so a v3 trace can
+// be keyed without materializing it.
+func (br *BlockReader) WriteV2(w io.Writer) error {
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	bw := bufio.NewWriterSize(cw, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	putUvarint(bw, formatVersion)
+	writeV2Tables(bw, br.shell.Funcs, br.shell.Threads)
+	putUvarint(bw, uint64(br.n))
+	var lastPC [256]uint32
+	buf := make([]Rec, 0, br.blockRecs)
+	for i := range br.blocks {
+		recs, err := br.DecodeBlock(i, buf)
+		if err != nil {
+			return err
+		}
+		buf = recs
+		for j := range recs {
+			writeV2Rec(bw, &recs[j], &lastPC)
+		}
+	}
+	writeV2SideTables(bw, br.shell.Sys, br.shell.Marks, br.shell.Clock)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var tr [trailerSize]byte
+	copy(tr[:4], trailerMagic[:])
+	binary.LittleEndian.PutUint32(tr[4:], cw.crc.Sum32())
+	_, err := w.Write(tr[:])
+	return err
+}
+
+// itoa is a minimal strconv.Itoa for non-negative ints, avoiding an import
+// on the hot decode path.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

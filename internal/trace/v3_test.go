@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"webslice/internal/isa"
+	"webslice/internal/vmem"
+)
+
+// encodeSampleV3 returns the version-3 encoding of the shared sample trace.
+func encodeSampleV3(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sampleTrace(t).WriteV3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// multiBlockTrace builds a trace big enough to span several 64-record blocks
+// (including a partial final block) with interleaved threads, so the
+// per-block delta-state reset is actually exercised.
+func multiBlockTrace(t *testing.T, n int) *Trace {
+	t.Helper()
+	tr := New()
+	f1, err := tr.AddFunc("v8::Run", "v8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := tr.AddFunc("blink::Paint", "blink/paint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Threads = append(tr.Threads, ThreadInfo{0, "CrRendererMain"}, ThreadInfo{1, "Compositor"}, ThreadInfo{7, "IOThread"})
+	tids := []uint8{0, 0, 1, 7}
+	fns := []FuncID{f1, f2}
+	for i := 0; i < n; i++ {
+		tid := tids[(i/17)%len(tids)] // runs of ~17 per thread
+		r := Rec{
+			PC:   MakePC(fns[(i/9)%2], uint16(i%300)),
+			Kind: isa.Kind(i % 10),
+			TID:  tid,
+			Dst:  isa.Reg(i % 31),
+			Src1: isa.Reg((i * 3) % 29),
+			Src2: isa.Reg((i * 7) % 5),
+			Addr: vmem.Addr(0x1000 + uint32(i)*4),
+			Aux:  uint32(i % 13),
+			Size: uint16([]int{0, 4, 4, 4, 8}[i%5]),
+		}
+		tr.Recs = append(tr.Recs, r)
+	}
+	// Side tables at known kinds so Validate-style consumers stay happy.
+	for i := 0; i < n; i++ {
+		switch tr.Recs[i].Kind {
+		case isa.KindSyscall:
+			if len(tr.Sys) < 5 {
+				tr.Sys[i] = &SysEffect{Num: isa.SysWrite, Writes: []vmem.Range{{Addr: 0x2000, Size: 8}}}
+			}
+		case isa.KindMarker:
+			if len(tr.Marks) < 3 {
+				tr.Marks[i] = &Mark{ID: uint32(len(tr.Marks) + 1), Kind: isa.MarkPixels, Buf: vmem.Range{Addr: 0x4000_0000, Size: 64}}
+			}
+		}
+	}
+	tr.Clock = []ClockPoint{{0, 0}, {n / 2, uint64(n) * 3}}
+	return tr
+}
+
+func tracesEqual(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Recs, want.Recs) {
+		t.Fatalf("records differ: %d vs %d recs", len(got.Recs), len(want.Recs))
+	}
+	if !reflect.DeepEqual(got.Funcs, want.Funcs) {
+		t.Error("symbols differ")
+	}
+	if !reflect.DeepEqual(got.Threads, want.Threads) {
+		t.Error("threads differ")
+	}
+	if !reflect.DeepEqual(got.Sys, want.Sys) {
+		t.Error("syscall side tables differ")
+	}
+	if !reflect.DeepEqual(got.Marks, want.Marks) {
+		t.Error("marker side tables differ")
+	}
+	if !reflect.DeepEqual(got.Clock, want.Clock) {
+		t.Error("clock differs")
+	}
+}
+
+func TestV3RoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	got, err := Read(bytes.NewReader(encodeSampleV3(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, got, tr)
+}
+
+func TestV3RoundTripMultiBlock(t *testing.T) {
+	// 64-record blocks, 5 full blocks plus a 23-record final block.
+	tr := multiBlockTrace(t, 64*5+23)
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenV3(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.NumRecs() != tr.Len() {
+		t.Fatalf("NumRecs = %d, want %d", br.NumRecs(), tr.Len())
+	}
+	if br.NumBlocks() != 6 {
+		t.Fatalf("NumBlocks = %d, want 6", br.NumBlocks())
+	}
+	if br.BlockRecs() != 64 {
+		t.Fatalf("BlockRecs = %d, want 64", br.BlockRecs())
+	}
+	got, err := br.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, got, tr)
+}
+
+func TestV3EmptyTrace(t *testing.T) {
+	tr := New()
+	var buf bytes.Buffer
+	if err := tr.WriteV3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenV3(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.NumRecs() != 0 || br.NumBlocks() != 0 {
+		t.Fatalf("empty trace has %d recs in %d blocks", br.NumRecs(), br.NumBlocks())
+	}
+	got, err := br.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Recs) != 0 || len(got.Funcs) != 1 {
+		t.Errorf("empty round trip: %d recs, %d funcs", len(got.Recs), len(got.Funcs))
+	}
+}
+
+func TestV3BlockBoundsAndShell(t *testing.T) {
+	tr := multiBlockTrace(t, 64*2+10)
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenV3(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBounds := [][2]int{{0, 64}, {64, 128}, {128, 138}}
+	for i, wb := range wantBounds {
+		lo, hi := br.BlockBounds(i)
+		if lo != wb[0] || hi != wb[1] {
+			t.Errorf("BlockBounds(%d) = [%d,%d), want [%d,%d)", i, lo, hi, wb[0], wb[1])
+		}
+	}
+	for _, idx := range []int{0, 63, 64, 127, 137} {
+		b := br.BlockOf(idx)
+		lo, hi := br.BlockBounds(b)
+		if idx < lo || idx >= hi {
+			t.Errorf("BlockOf(%d) = %d with bounds [%d,%d)", idx, b, lo, hi)
+		}
+	}
+	shell := br.Shell()
+	if shell.Recs != nil {
+		t.Error("shell must not materialize records")
+	}
+	if !reflect.DeepEqual(shell.Funcs, tr.Funcs) || !reflect.DeepEqual(shell.Sys, tr.Sys) || !reflect.DeepEqual(shell.Marks, tr.Marks) {
+		t.Error("shell side tables differ from the source trace")
+	}
+}
+
+func TestV3DecodeBlockReusesBuffer(t *testing.T) {
+	tr := multiBlockTrace(t, 64*3)
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenV3(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Rec, 0, 64)
+	base := &dst[:1][0]
+	for i := 0; i < br.NumBlocks(); i++ {
+		out, err := br.DecodeBlock(i, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &out[0] != base {
+			t.Fatalf("block %d: DecodeBlock reallocated despite sufficient capacity", i)
+		}
+		lo, hi := br.BlockBounds(i)
+		if !reflect.DeepEqual(out, tr.Recs[lo:hi]) {
+			t.Fatalf("block %d decodes wrong records", i)
+		}
+		dst = out[:0]
+	}
+}
+
+func TestV3TranscodeToV2ByteIdentical(t *testing.T) {
+	for _, n := range []int{0, 5, 64, 64*4 + 31} {
+		tr := multiBlockTrace(t, n)
+		var v2 bytes.Buffer
+		if err := tr.Write(&v2); err != nil {
+			t.Fatal(err)
+		}
+		var v3 bytes.Buffer
+		if err := tr.WriteV3Blocks(&v3, 64); err != nil {
+			t.Fatal(err)
+		}
+		br, err := OpenV3(v3.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back bytes.Buffer
+		if err := br.WriteV2(&back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back.Bytes(), v2.Bytes()) {
+			t.Fatalf("n=%d: v2→v3→v2 transcode is not byte-identical (%d vs %d bytes)", n, back.Len(), v2.Len())
+		}
+	}
+}
+
+func TestV3ReadMatchesV2Read(t *testing.T) {
+	tr := multiBlockTrace(t, 64*2+7)
+	var v2, v3 bytes.Buffer
+	if err := tr.Write(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteV3Blocks(&v3, 128); err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := Read(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV3, err := Read(bytes.NewReader(v3.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, fromV3, fromV2)
+}
+
+func TestFormatVersionSniff(t *testing.T) {
+	if v := FormatVersion(encodeSample(t)); v != 2 {
+		t.Errorf("v2 sniffed as %d", v)
+	}
+	if v := FormatVersion(encodeSampleV3(t)); v != 3 {
+		t.Errorf("v3 sniffed as %d", v)
+	}
+	if v := FormatVersion([]byte("not a trace")); v != 0 {
+		t.Errorf("garbage sniffed as %d", v)
+	}
+	if v := FormatVersion(nil); v != 0 {
+		t.Errorf("nil sniffed as %d", v)
+	}
+	if !HasMagic(encodeSampleV3(t)) {
+		t.Error("v3 traces must keep the WSLT magic for service admission")
+	}
+}
+
+func TestV3BlockRecsRounding(t *testing.T) {
+	tr := multiBlockTrace(t, 100)
+	var buf bytes.Buffer
+	// 70 is not a multiple of 64: the writer must round up to 128.
+	if err := tr.WriteV3Blocks(&buf, 70); err != nil {
+		t.Fatal(err)
+	}
+	br, err := OpenV3(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.BlockRecs() != 128 {
+		t.Errorf("BlockRecs = %d, want 128 (rounded up to a multiple of 64)", br.BlockRecs())
+	}
+	if br.BlockRecs()%64 != 0 {
+		t.Errorf("block size %d is not 64-aligned", br.BlockRecs())
+	}
+}
+
+// openV3NeverPanics opens and fully decodes data, converting a panic into a
+// test failure. Corrupt input must come back as an error, not a crash.
+func openV3NeverPanics(t *testing.T, data []byte, label string) error {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: v3 decode panicked: %v", label, r)
+		}
+	}()
+	br, err := OpenV3(data)
+	if err != nil {
+		return err
+	}
+	_, err = br.ReadAll()
+	return err
+}
+
+func TestV3EveryTruncatedPrefixErrors(t *testing.T) {
+	enc := encodeSampleV3(t)
+	for n := 0; n < len(enc); n++ {
+		err := openV3NeverPanics(t, enc[:n], "prefix")
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(enc))
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("truncation to %d: error is %T, want *DecodeError: %v", n, err, err)
+		}
+	}
+}
+
+// TestV3EveryBitFlipErrors corrupts every bit of a v3 encoding. Each section
+// carries its own CRC32 and the framing is fully accounted (block offsets
+// come from the checksummed index), so every single-bit flip must surface as
+// a typed decode error — block headers, column payloads, footer, index, and
+// tail alike.
+func TestV3EveryBitFlipErrors(t *testing.T) {
+	enc := encodeSampleV3(t)
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(enc)
+			mut[i] ^= 1 << bit
+			err := openV3NeverPanics(t, mut, "bitflip")
+			if err == nil {
+				t.Fatalf("flipping byte %d bit %d (of %d bytes) decoded without error", i, bit, len(enc))
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("flipping byte %d bit %d: error is %T, want *DecodeError: %v", i, bit, err, err)
+			}
+			if de.Section == "" {
+				t.Fatalf("flipping byte %d bit %d: decode error has no section", i, bit)
+			}
+		}
+	}
+}
+
+func TestV3EveryBitFlipErrorsMultiBlock(t *testing.T) {
+	// The same sweep over a multi-block file so per-block CRCs, the block
+	// index, and inter-block framing all get exercised. Multi-block files
+	// are larger, so sample every 3rd byte to keep the sweep fast while
+	// still covering every section (offsets 0,3,6,... hit all regions).
+	tr := multiBlockTrace(t, 64*3+11)
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for i := 0; i < len(enc); i += 3 {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(enc)
+			mut[i] ^= 1 << bit
+			if err := openV3NeverPanics(t, mut, "bitflip-multi"); err == nil {
+				t.Fatalf("flipping byte %d bit %d (of %d bytes) decoded without error", i, bit, len(enc))
+			}
+		}
+	}
+}
+
+func TestV3ReadViaSniffRejectsCorruption(t *testing.T) {
+	// The generic Read path must reject corrupt v3 the same way.
+	enc := encodeSampleV3(t)
+	mut := bytes.Clone(enc)
+	mut[len(mut)/2] ^= 0x10
+	if err := readNeverPanics(t, mut, "sniffed-corrupt"); err == nil {
+		t.Fatal("corrupt v3 decoded through trace.Read")
+	}
+}
+
+func TestV3OpenRejectsV2(t *testing.T) {
+	if _, err := OpenV3(encodeSample(t)); err == nil {
+		t.Fatal("OpenV3 accepted a v2 file")
+	}
+}

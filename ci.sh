@@ -61,6 +61,14 @@ go test -run '^$' -fuzz FuzzV3DecodeNeverPanics -fuzztime 5s ./internal/trace
 GOMAXPROCS=4 go test -race -count=1 -run 'TestSegmented|TestPlanSegments|TestResolveSegments|TestExecuteBackward' ./internal/slicer ./internal/experiments
 WEBSLICE_BENCH_GATE=1 go test -count=1 -run TestSegmentedBackwardPerfGate ./internal/slicer
 
+# Observability smoke: a job through the HTTP API must produce one
+# causally-linked span tree (correct names and parent links), with its
+# trace ID joining the structured log, the /metrics exemplars, and
+# /debug/spans; the cluster variant pins the same property across the
+# coordinator->worker HTTP hop on an in-process 3-node ring.
+go test -count=1 -run 'TestSpansSmoke' ./internal/service
+go test -count=1 -run 'TestClusterTracePropagation' ./internal/cluster
+
 # The full validation sweep: golden corpus digests, then replay, naive-
 # differential, and invariant oracles over 50 property-generated sites.
 go run ./cmd/webslice verify -exp all

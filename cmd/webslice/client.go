@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"webslice/internal/obs"
 	"webslice/internal/report"
 	"webslice/internal/service"
 )
@@ -265,6 +266,28 @@ func (c *client) clientResult(id string) error {
 			fmt.Printf("    %-16s %s\n", c, report.Pct1(100*res.Categories[c]))
 		}
 	}
+	return nil
+}
+
+// clientSpans fetches a job's recorded span tree (/jobs/{id}/trace) and
+// renders it as an indented tree with wall-clock durations, attributes,
+// and events. Against a coordinator the tree is the merged cross-node
+// trace: its routing spans stitched to the owning worker's execution
+// spans by the propagated trace ID. Requires the daemon to run with
+// -trace-spans; a daemon without tracing answers 404.
+func (c *client) clientSpans(id string) error {
+	if id == "" {
+		return fmt.Errorf("spans: no job id (use -id <job> or `webslice spans <job>`)")
+	}
+	resp, err := c.hc.Get(c.base + "/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	var spans []obs.SpanData
+	if err := decodeJSON(resp, http.StatusOK, &spans); err != nil {
+		return err
+	}
+	obs.RenderTree(os.Stdout, spans)
 	return nil
 }
 

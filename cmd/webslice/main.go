@@ -101,6 +101,12 @@ func main() {
 		err = newClient(*addr, *maxWait).clientResult(*id)
 	case "quarantined":
 		err = newClient(*addr, *maxWait).clientQuarantined()
+	case "spans":
+		jobID := *id
+		if jobID == "" {
+			jobID = fs.Arg(0) // allow `webslice spans <job>` without -id
+		}
+		err = newClient(*addr, *maxWait).clientSpans(jobID)
 	default:
 		stopProfiles()
 		usage()
@@ -172,6 +178,9 @@ commands:
   status     print a websliced job's status (-id)
   result     print a finished websliced job's result (-id)
   quarantined  list websliced's poisoned jobs (quarantined after panicking)
+  spans      render a job's span tree from a websliced started with
+             -trace-spans (-id <job> or "webslice spans <job>"); against a
+             coordinator this is the merged cross-node trace
 
 flags: -scale 1.0 (workload size, must be > 0), -exp all, -site amazon-desktop,
        -j 0 (concurrent experiment sessions and backward-pass workers,

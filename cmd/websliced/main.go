@@ -15,6 +15,12 @@
 // out of the ring and their pending jobs re-routed; the coordinator's own
 // manager executes whatever the ring cannot place. See README "Cluster
 // mode" and `webslice submit|status|result|scatter` for the client side.
+//
+// With -trace-spans N, every job records a causally-linked span tree —
+// routing, queue wait, attempts, store lookups, render, slice phases —
+// in a bounded in-memory ring, served raw at GET /debug/spans (JSONL)
+// and per job at GET /jobs/{id}/trace; `webslice spans <job>` renders
+// the tree. Tracing is off by default and costs nothing when off.
 package main
 
 import (
@@ -22,7 +28,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"webslice/internal/cluster"
+	"webslice/internal/obs"
 	"webslice/internal/service"
 	"webslice/internal/store"
 )
@@ -53,6 +60,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated worker base URLs forming the ring (coordinator mode); include this node's -node URL to give the coordinator a ring share")
 	probeInterval := flag.Duration("probe-interval", cluster.DefaultProbeInterval, "peer health-probe period (coordinator mode)")
 	probeFails := flag.Int("probe-fails", cluster.DefaultFailThreshold, "consecutive probe failures that evict a peer (coordinator mode)")
+	traceSpans := flag.Int("trace-spans", 0, "span ring capacity for request tracing (0 = tracing off; try 4096); spans at GET /debug/spans and /jobs/{id}/trace")
+	logLevel := flag.String("log-level", "info", "structured log level: debug|info|warn|error")
 	flag.Parse()
 
 	self := *node
@@ -67,6 +76,10 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		MaxTraceBytes: *maxTraceMB << 20,
 		Node:          self,
+		Logger:        newLogger(*logLevel),
+	}
+	if *traceSpans > 0 {
+		cfg.Tracer = obs.New(*traceSpans, nil)
 	}
 	cl := clusterConfig{
 		coordinator:   *coordinator,
@@ -89,6 +102,19 @@ type clusterConfig struct {
 	probeFails    int
 }
 
+// newLogger builds the daemon's structured logger: text key=value pairs
+// on stderr, filtered at the -log-level threshold. Job-scoped records
+// carry trace and job IDs so a log line can be joined against its span
+// tree (`webslice spans <job>`).
+func newLogger(level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		fmt.Fprintf(os.Stderr, "websliced: invalid -log-level %q, using info\n", level)
+		lvl = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+}
+
 func splitPeers(s string) []string {
 	var out []string
 	for _, p := range strings.Split(s, ",") {
@@ -103,6 +129,10 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 	if len(cl.peers) > 0 && !cl.coordinator {
 		return errors.New("-peers requires -coordinator")
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	st, err := store.Open(dir, memBytes)
 	if err != nil {
 		return err
@@ -114,10 +144,10 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 			return err
 		}
 		if n := j.Salvaged(); n > 0 {
-			log.Printf("websliced: journal had a corrupt/torn tail, salvaged around %d bytes", n)
+			logger.Warn("journal had a corrupt/torn tail", "salvaged_bytes", n, "path", journalPath)
 		}
 		if len(pending) > 0 {
-			log.Printf("websliced: replaying %d unfinished job(s) from %s", len(pending), journalPath)
+			logger.Info("replaying unfinished jobs from journal", "count", len(pending), "path", journalPath)
 		}
 		cfg.Journal, cfg.Resume = j, pending
 	}
@@ -134,6 +164,7 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 			Peers:         cl.peers,
 			ProbeInterval: cl.probeInterval,
 			FailThreshold: cl.probeFails,
+			Logger:        cfg.Logger, // tracer is inherited from the local manager
 		})
 		co.Start()
 		mux.Handle("/", cluster.NewHandler(co))
@@ -153,11 +184,12 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 	errc := make(chan error, 1)
 	go func() {
 		if cl.coordinator {
-			log.Printf("websliced: coordinator %s listening on %s (peers=%v workers=%d queue=%d store=%q journal=%q)",
-				cl.self, addr, cl.peers, cfg.Workers, cfg.QueueDepth, dir, journalPath)
+			logger.Info("coordinator listening", "self", cl.self, "addr", addr, "peers", cl.peers,
+				"workers", cfg.Workers, "queue", cfg.QueueDepth, "store", dir, "journal", journalPath,
+				"tracing", cfg.Tracer != nil)
 		} else {
-			log.Printf("websliced: listening on %s (workers=%d queue=%d store=%q journal=%q)",
-				addr, cfg.Workers, cfg.QueueDepth, dir, journalPath)
+			logger.Info("listening", "addr", addr, "workers", cfg.Workers, "queue", cfg.QueueDepth,
+				"store", dir, "journal", journalPath, "tracing", cfg.Tracer != nil)
 		}
 		errc <- srv.ListenAndServe()
 	}()
@@ -172,19 +204,19 @@ func run(addr, dir string, memBytes int64, journalPath string, drainTimeout time
 	// jobs within the budget. Jobs the drain cannot finish in time are not
 	// abandoned — they stay pending in the journal and the next boot
 	// re-runs them (without a journal they are lost, as before).
-	log.Printf("websliced: shutting down, draining jobs (budget %v)...", drainTimeout)
+	logger.Info("shutting down, draining jobs", "budget", drainTimeout)
 	if co != nil {
 		co.Stop()
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("websliced: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err)
 	}
 	if mgr.Drain(drainTimeout) {
-		log.Printf("websliced: drained, bye")
+		logger.Info("drained, bye")
 	} else {
-		log.Printf("websliced: drain budget expired; unfinished jobs remain in the journal")
+		logger.Warn("drain budget expired; unfinished jobs remain in the journal")
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"webslice/internal/experiments"
+	"webslice/internal/obs"
 	"webslice/internal/service"
 	"webslice/internal/store"
 )
@@ -26,7 +27,9 @@ func startNode(t testing.TB) *node {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr := service.New(service.Config{Workers: 2, QueueDepth: 32, Store: st})
+	// Every in-process node carries a tracer, so the whole cluster suite
+	// doubles as race coverage for span recording across goroutines.
+	mgr := service.New(service.Config{Workers: 2, QueueDepth: 32, Store: st, Tracer: obs.New(1024, nil)})
 	srv := httptest.NewServer(service.NewHandler(mgr))
 	n := &node{mgr: mgr, srv: srv}
 	t.Cleanup(func() { n.close() })
@@ -60,7 +63,7 @@ func startCluster(t testing.TB, k int, cfg Config) *testCluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tc.local = service.New(service.Config{Workers: 2, QueueDepth: 32, Store: st, Node: "http://coordinator.test"})
+	tc.local = service.New(service.Config{Workers: 2, QueueDepth: 32, Store: st, Node: "http://coordinator.test", Tracer: obs.New(1024, nil)})
 	t.Cleanup(func() { tc.local.Kill() })
 	cfg.Self = "http://coordinator.test"
 	cfg.Local = tc.local

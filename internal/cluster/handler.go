@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"webslice/internal/metrics"
+	"webslice/internal/obs"
 	"webslice/internal/service"
 )
 
@@ -40,6 +41,7 @@ func NewHandler(c *Coordinator) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 			return
 		}
+		spec.TraceCtx, _ = obs.Extract(r.Header)
 		submitRouted(c, w, spec)
 	})
 
@@ -53,11 +55,13 @@ func NewHandler(c *Coordinator) http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("empty trace body"))
 			return
 		}
-		submitRouted(c, w, service.Spec{
+		spec := service.Spec{
 			Trace:    body,
 			Criteria: r.URL.Query().Get("criteria"),
 			Verify:   r.URL.Query().Get("verify") == "1" || r.URL.Query().Get("verify") == "true",
-		})
+		}
+		spec.TraceCtx, _ = obs.Extract(r.Header)
+		submitRouted(c, w, spec)
 	})
 
 	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +114,25 @@ func NewHandler(c *Coordinator) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans, err := c.JobTrace(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q: %w", id, err))
+			return
+		}
+		writeJSON(w, http.StatusOK, spans)
+	})
+
+	mux.HandleFunc("GET /debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		if c.tracer == nil {
+			httpError(w, http.StatusNotFound, ErrTracingDisabled)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		obs.WriteJSONL(w, c.tracer.Snapshot())
 	})
 
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

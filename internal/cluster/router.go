@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"webslice/internal/metrics"
+	"webslice/internal/obs"
 	"webslice/internal/service"
 	"webslice/internal/trace"
 )
@@ -89,6 +91,13 @@ type Config struct {
 	// HTTPTimeout bounds each forwarded request (default 60s — trace
 	// uploads can be large).
 	HTTPTimeout time.Duration
+	// Tracer records the coordinator's routing spans. Nil inherits the
+	// local manager's tracer, so a locally-executed job's route and worker
+	// spans land in one ring; if that is also nil, tracing is off.
+	Tracer *obs.Tracer
+	// Logger receives structured routing logs (routed, rerouted,
+	// backpressure, evictions) carrying job and trace IDs. Nil discards.
+	Logger *slog.Logger
 }
 
 // routedJob is the coordinator's record of one admitted job.
@@ -96,6 +105,10 @@ type routedJob struct {
 	id   string
 	spec service.Spec
 	key  string
+	// traceCtx is the root "route" span's identity — the trace every later
+	// span of this job (worker-side included, via the traceparent header)
+	// belongs to. Written once in Submit, before the job is visible.
+	traceCtx obs.SpanContext
 
 	mu       sync.Mutex
 	peer     string // "" = local manager
@@ -123,6 +136,8 @@ type Coordinator struct {
 	client  *http.Client
 	clock   service.Clock
 	reg     *metrics.Registry
+	tracer  *obs.Tracer
+	log     *slog.Logger
 
 	mu     sync.Mutex
 	jobs   map[string]*routedJob
@@ -148,6 +163,14 @@ func New(cfg Config) *Coordinator {
 	if reg == nil {
 		reg = cfg.Local.Metrics()
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = cfg.Local.Tracer()
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	ring := NewRing(cfg.Replicas)
 	var remote []string
 	for _, p := range cfg.Peers {
@@ -163,6 +186,8 @@ func New(cfg Config) *Coordinator {
 		client:         &http.Client{Timeout: cfg.HTTPTimeout},
 		clock:          cfg.Clock,
 		reg:            reg,
+		tracer:         tracer,
+		log:            logger,
 		jobs:           make(map[string]*routedJob),
 		cRouted:        reg.Counter("cluster_jobs_routed"),
 		cLocal:         reg.Counter("cluster_jobs_local"),
@@ -223,38 +248,81 @@ func (c *Coordinator) Submit(spec service.Spec) (string, error) {
 	c.nextID++
 	id := fmt.Sprintf("c%06d", c.nextID)
 	c.mu.Unlock()
-	j := &routedJob{id: id, spec: spec, key: key}
-	if err := c.route(j); err != nil {
+	// The "route" span roots the job's trace (or joins the submitter's, if
+	// the request carried a traceparent header); the owner's "job" span
+	// parents under it via the forwarded header, so one trace spans the
+	// coordinator and the worker.
+	rs := c.tracer.Remote(spec.TraceCtx, "route").Set("job", id).Set("key", shortKey(key))
+	j := &routedJob{id: id, spec: spec, key: key, traceCtx: rs.Context()}
+	err := c.route(j, rs)
+	rs.EndErr(err)
+	if err != nil {
 		return "", err
 	}
 	c.mu.Lock()
 	c.jobs[id] = j
 	c.mu.Unlock()
+	j.mu.Lock()
+	peer := j.peer
+	j.mu.Unlock()
+	c.log.Info("job routed", "job", id, "trace", rs.TraceID(), "peer", peer)
 	return id, nil
+}
+
+// shortKey truncates a routing key for span annotation: content hashes are
+// 64 hex chars, of which the first 12 identify the job as well as a git
+// short hash does. Site/seed keys contain NUL separators; those are kept
+// whole but made printable.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		key = key[:12]
+	}
+	return strconv.Quote(key)
 }
 
 // route assigns j to the best live candidate and submits it there. Called
 // for initial submission and again (with j.reroutes incremented) when an
-// owner dies.
-func (c *Coordinator) route(j *routedJob) error {
+// owner dies. s is the span the routing decision is recorded under (the
+// root "route" span, or a "reroute" span after an eviction): each skipped
+// or refusing candidate becomes an event on it, so the trace shows *why*
+// the job landed where it did.
+func (c *Coordinator) route(j *routedJob, s *obs.Span) error {
 	spec := j.spec
 	spec.Origin = c.cfg.Self
+	spec.TraceCtx = s.Context()
 	for _, peer := range c.ring.Owners(j.key, c.ring.Len()) {
 		if peer == c.cfg.Self {
-			return c.routeLocal(j)
+			return c.routeLocal(j, s)
 		}
 		if !c.members.Alive(peer) {
+			s.Event("peer.dead", obs.Attr{K: "peer", V: peer})
 			continue
 		}
+		// "peer.submit", not "forward": the profiler's forward *pass* span
+		// already owns that name, and the two meet in one merged trace.
+		fs := s.Child("peer.submit").Set("peer", peer)
 		remoteID, err := c.forward(peer, spec)
+		fs.EndErr(err)
 		if err != nil {
 			var se *statusError
 			if errors.As(err, &se) {
 				// The peer answered: this is an application error
 				// (backpressure, invalid spec, oversized trace), not a dead
-				// node. Propagate it.
+				// node. Propagate it. A 429 gets its own event carrying the
+				// peer's Retry-After and the owner hint, so backpressure is
+				// visible in the trace, not just in the client's response.
+				if se.Code() == http.StatusTooManyRequests {
+					s.Event("peer.backpressure",
+						obs.Attr{K: "peer", V: peer},
+						obs.Attr{K: "retry_after", V: se.RetryAfter()})
+					c.log.Warn("peer backpressure", "job", j.id, "trace", s.TraceID(),
+						"peer", peer, "retry_after", se.RetryAfter())
+				}
 				return err
 			}
+			s.Event("peer.unreachable",
+				obs.Attr{K: "peer", V: peer},
+				obs.Attr{K: "error", V: err.Error()})
 			c.cForwardFailed.Inc()
 			c.peerCounter("forward_failed", peer).Inc()
 			c.members.ReportFailure(peer)
@@ -270,11 +338,14 @@ func (c *Coordinator) route(j *routedJob) error {
 	}
 	// No remote candidate took it: run it here.
 	c.cFallbacks.Inc()
-	return c.routeLocal(j)
+	s.Event("local.fallback")
+	return c.routeLocal(j, s)
 }
 
-func (c *Coordinator) routeLocal(j *routedJob) error {
-	localID, err := c.cfg.Local.Submit(j.spec)
+func (c *Coordinator) routeLocal(j *routedJob, s *obs.Span) error {
+	spec := j.spec
+	spec.TraceCtx = s.Context()
+	localID, err := c.cfg.Local.Submit(spec)
 	if err != nil {
 		return err
 	}
@@ -304,9 +375,11 @@ func (e *statusError) Code() int { return e.code }
 func (e *statusError) RetryAfter() string { return e.retryAfter }
 
 // forward submits spec to a peer over the existing single-node API and
-// returns the remote job id.
+// returns the remote job id. The spec's trace context travels as the W3C
+// traceparent header — never in the body — so the remote job's spans join
+// this coordinator's trace.
 func (c *Coordinator) forward(peer string, spec service.Spec) (string, error) {
-	var resp *http.Response
+	var req *http.Request
 	var err error
 	if len(spec.Trace) > 0 {
 		q := url.Values{}
@@ -319,14 +392,24 @@ func (c *Coordinator) forward(peer string, spec service.Spec) (string, error) {
 		if spec.Origin != "" {
 			q.Set("origin", spec.Origin)
 		}
-		resp, err = c.client.Post(peer+"/jobs/trace?"+q.Encode(), "application/octet-stream", bytes.NewReader(spec.Trace))
+		req, err = http.NewRequest(http.MethodPost, peer+"/jobs/trace?"+q.Encode(), bytes.NewReader(spec.Trace))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
 	} else {
 		body, merr := json.Marshal(spec)
 		if merr != nil {
 			return "", merr
 		}
-		resp, err = c.client.Post(peer+"/jobs", "application/json", bytes.NewReader(body))
+		req, err = http.NewRequest(http.MethodPost, peer+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
 	}
+	obs.InjectContext(req.Header, spec.TraceCtx)
+	resp, err := c.client.Do(req)
 	if err != nil {
 		return "", err
 	}
@@ -375,11 +458,20 @@ func (c *Coordinator) handleEvict(peer string) {
 	for _, j := range pending {
 		j.mu.Lock()
 		j.reroutes++
+		reroutes := j.reroutes
 		j.terminal = false
 		j.mu.Unlock()
 		c.cRerouted.Inc()
 		c.peerCounter("rerouted_from", peer).Inc()
-		if err := c.route(j); err != nil {
+		// The reroute span joins the job's existing trace (parented on the
+		// original route span), so a job that survives a worker death shows
+		// the whole odyssey in one tree.
+		rs := c.tracer.Remote(j.traceCtx, "reroute").
+			Set("job", j.id).Set("from", peer).Set("n", strconv.Itoa(reroutes))
+		c.log.Warn("job rerouted", "job", j.id, "trace", rs.TraceID(), "from", peer, "reroutes", reroutes)
+		err := c.route(j, rs)
+		rs.EndErr(err)
+		if err != nil {
 			// Every candidate (including local) refused — typically local
 			// backpressure. Surface it as a failed job rather than losing it
 			// silently.

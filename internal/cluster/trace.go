@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"webslice/internal/obs"
+)
+
+// ErrTracingDisabled is returned by JobTrace when no tracer is configured
+// on the coordinator (HTTP maps it to 404, matching the single-node API).
+var ErrTracingDisabled = errors.New("cluster: tracing disabled")
+
+// JobTrace assembles the one causally-linked trace of a routed job: the
+// coordinator's own spans (route, forward attempts, reroutes) merged with
+// the owning worker's (queue wait, attempts, render, store lookups, slice
+// phases), fetched over the worker's /jobs/{id}/trace endpoint. Worker
+// spans are best-effort — an unreachable owner yields the coordinator's
+// half alone rather than an error, mirroring how Status degrades to the
+// last observed snapshot.
+func (c *Coordinator) JobTrace(id string) ([]obs.SpanData, error) {
+	if c.tracer == nil {
+		return nil, ErrTracingDisabled
+	}
+	j, ok := c.lookup(id)
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	peer, remoteID := j.peer, j.remoteID
+	j.mu.Unlock()
+	spans := c.tracer.ForTrace(j.traceCtx.Trace)
+	var worker []obs.SpanData
+	if peer == "" {
+		// Local execution: the manager usually shares this tracer (the
+		// default wiring), making this a no-op after dedup; with a distinct
+		// tracer it contributes the job-side spans.
+		worker, _ = c.cfg.Local.JobTrace(remoteID)
+	} else {
+		worker, _ = c.fetchTrace(peer, remoteID)
+	}
+	seen := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		seen[s.ID] = true
+	}
+	for _, s := range worker {
+		if !seen[s.ID] {
+			spans = append(spans, s)
+		}
+	}
+	obs.Sort(spans)
+	return spans, nil
+}
+
+// fetchTrace pulls a worker's recorded spans for one of its jobs.
+func (c *Coordinator) fetchTrace(peer, remoteID string) ([]obs.SpanData, error) {
+	resp, err := c.client.Get(peer + "/jobs/" + remoteID + "/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, errors.New("cluster: trace fetch failed")
+	}
+	var spans []obs.SpanData
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

@@ -17,9 +17,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"webslice/internal/cdg"
 	"webslice/internal/cfg"
+	"webslice/internal/obs"
 	"webslice/internal/replay"
 	"webslice/internal/slicer"
 	"webslice/internal/store"
@@ -51,6 +53,13 @@ type Profiler struct {
 	// verified when computed, so hits pay nothing. An invariant violation is
 	// an error and the result is not cached.
 	VerifyInvariants bool
+
+	// Obs, when non-nil, is the parent span the profiler records its work
+	// under: the forward pass, every store lookup/publish (with hit/miss
+	// and the disk breaker's state), and invariant verification each
+	// become child spans. Nil disables tracing at zero cost — every
+	// obs.Span method is nil-safe.
+	Obs *obs.Span
 
 	// store, when set, is consulted before computing: the forward pass
 	// loads a cached control dependence graph, and SliceCached loads whole
@@ -134,30 +143,55 @@ func (p *Profiler) Forward() error {
 	}
 	if p.store != nil {
 		// A decode/corruption error is a cache miss, not a failure.
-		if d, ok, _ := p.store.GetDeps(p.key); ok {
+		gs := p.storeSpan("store.get", "deps")
+		d, ok, _ := p.store.GetDeps(p.key)
+		gs.Set("hit", strconv.FormatBool(ok))
+		gs.End()
+		if ok {
 			p.deps = d
 			return nil
 		}
 	}
+	fs := p.Obs.Child("forward")
 	full, err := p.materialize()
 	if err != nil {
+		fs.EndErr(err)
 		return fmt.Errorf("core: forward pass: %w", err)
 	}
 	f, err := cfg.Build(full)
 	if err != nil {
+		fs.EndErr(err)
 		return fmt.Errorf("core: forward pass: %w", err)
 	}
 	if p.canceled() {
+		fs.EndErr(slicer.ErrCanceled)
 		return slicer.ErrCanceled
 	}
 	p.forest = f
 	p.deps = cdg.Compute(f)
+	fs.End()
 	if p.store != nil {
-		if err := p.store.PutDeps(p.key, p.deps); err != nil {
+		ps := p.storeSpan("store.put", "deps")
+		err := p.store.PutDeps(p.key, p.deps)
+		ps.EndErr(err)
+		if err != nil {
 			return fmt.Errorf("core: caching forward pass: %w", err)
 		}
 	}
 	return nil
+}
+
+// storeSpan starts a child span for one artifact-store operation,
+// annotated with the artifact kind and the disk breaker's current state
+// (closed / half-open / open), so degraded-store jobs are visible in
+// traces. Nil-safe: with tracing off it returns nil.
+func (p *Profiler) storeSpan(op, kind string) *obs.Span {
+	if p.Obs == nil {
+		return nil
+	}
+	return p.Obs.Child(op).
+		Set("kind", kind).
+		Set("breaker", p.store.BreakerState().String())
 }
 
 // canceled polls the default options' cancellation hook.
@@ -248,7 +282,11 @@ func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) (
 		if c == nil {
 			return nil, nil, fmt.Errorf("core: nil criteria")
 		}
-		if r, ok, _ := p.store.GetSlice(p.key, store.SliceVariant(c.Name(), opts)); ok {
+		gs := p.storeSpan("store.get", "slice").Set("criteria", c.Name())
+		r, ok, _ := p.store.GetSlice(p.key, store.SliceVariant(c.Name(), opts))
+		gs.Set("hit", strconv.FormatBool(ok))
+		gs.End()
+		if ok {
 			out[k], hits[k] = r, true
 			continue
 		}
@@ -268,7 +306,10 @@ func (p *Profiler) SliceMultiCached(cs []slicer.Criteria, opts slicer.Options) (
 	for j, r := range rs {
 		k := missingIdx[j]
 		out[k] = r
-		if err := p.store.PutSlice(p.key, store.SliceVariant(cs[k].Name(), opts), r); err != nil {
+		ps := p.storeSpan("store.put", "slice").Set("criteria", cs[k].Name())
+		err := p.store.PutSlice(p.key, store.SliceVariant(cs[k].Name(), opts), r)
+		ps.EndErr(err)
+		if err != nil {
 			return nil, nil, fmt.Errorf("core: caching slice: %w", err)
 		}
 	}
@@ -288,15 +329,19 @@ func (p *Profiler) verify(rs []*slicer.Result) error {
 // unconditionally — the service uses it to re-check cached slices. On a
 // streaming profiler the trace is decoded transiently for the replay.
 func (p *Profiler) VerifyResults(rs ...*slicer.Result) error {
+	vs := p.Obs.Child("verify").Set("slices", strconv.Itoa(len(rs)))
 	full, err := p.materialize()
 	if err != nil {
+		vs.EndErr(err)
 		return fmt.Errorf("core: verification: %w", err)
 	}
 	for _, r := range rs {
 		if err := replay.CheckInvariants(full, p.deps, r); err != nil {
+			vs.EndErr(err)
 			return fmt.Errorf("core: slice %q failed verification: %w", r.Criteria, err)
 		}
 	}
+	vs.End()
 	return nil
 }
 

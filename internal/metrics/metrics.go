@@ -10,6 +10,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -65,6 +66,17 @@ type Histogram struct {
 	counts []int64   // len(bounds)+1
 	sum    float64
 	n      int64
+	// exemplars holds the latest trace-linked observation per bucket
+	// (len(bounds)+1, lazily allocated) — the span/metric linkage: a
+	// latency bucket's exposition carries a trace ID whose span tree shows
+	// where that latency went.
+	exemplars []Exemplar
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -74,13 +86,33 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN samples are dropped: a NaN would land
+// in the overflow bucket by accident of comparison order and poison the
+// sum (and every later quantile) forever.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// remembers it as the bucket's exemplar — the most recent trace that
+// landed there. WriteText exposes exemplars as `# EXEMPLAR` comment
+// lines, so a latency spike in a histogram links straight to the span
+// tree that explains it (GET /jobs/{id}/trace).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if math.IsNaN(v) {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = Exemplar{TraceID: traceID, Value: v}
+	}
 	h.mu.Unlock()
 }
 
@@ -101,7 +133,7 @@ func (h *Histogram) Sum() float64 {
 // snapshot returns the bucket bounds with their *cumulative* counts (the
 // Prometheus _bucket convention: each count includes every bucket below
 // it), plus the sum and total count, all under one lock acquisition.
-func (h *Histogram) snapshot() (bounds []float64, cum []int64, sum float64, n int64) {
+func (h *Histogram) snapshot() (bounds []float64, cum []int64, sum float64, n int64, ex []Exemplar) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	bounds = append([]float64(nil), h.bounds...)
@@ -111,16 +143,32 @@ func (h *Histogram) snapshot() (bounds []float64, cum []int64, sum float64, n in
 		running += h.counts[i]
 		cum[i] = running
 	}
-	return bounds, cum, h.sum, h.n
+	ex = append([]Exemplar(nil), h.exemplars...)
+	return bounds, cum, h.sum, h.n, ex
 }
 
-// Quantile estimates the q-th quantile (0 < q <= 1). With no samples it
-// returns 0; ranks landing in the overflow bucket report the largest bound.
+// Quantile estimates the q-th quantile (0 < q <= 1). With no samples — or
+// no buckets at all — it returns 0 instead of dividing by zero or indexing
+// an empty bounds slice; ranks landing in the overflow bucket report the
+// largest bound. A NaN q returns 0, and q is clamped into (0, 1].
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.n == 0 {
+	// n == 0 guards the rank math; len(bounds) == 0 guards the
+	// h.bounds[len(h.bounds)-1] fallbacks (a bucketless histogram used to
+	// panic here on its first Quantile call).
+	if h.n == 0 || len(h.bounds) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if q <= 0 {
+		// Smallest defined rank: the first sample.
+		q = math.SmallestNonzeroFloat64
 	}
 	target := q * float64(h.n)
 	var cum int64
@@ -275,7 +323,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	for name, h := range r.hists {
 		n := SanitizeName(name)
-		bounds, cum, sum, count := h.snapshot()
+		bounds, cum, sum, count, ex := h.snapshot()
 		lines := make([]string, 0, len(bounds)+3)
 		for i, b := range bounds {
 			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", n, formatLe(b), cum[i]))
@@ -284,6 +332,20 @@ func (r *Registry) WriteText(w io.Writer) error {
 			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, count),
 			fmt.Sprintf("%s_sum %.3f", n, sum),
 			fmt.Sprintf("%s_count %d", n, count))
+		// Exemplars ride as comment lines: the 0.0.4 text format has no
+		// native exemplar syntax (that is OpenMetrics), and comments are
+		// the one extension every parser must skip. Each line links a
+		// bucket to the most recent trace that landed in it.
+		for i, e := range ex {
+			if e.TraceID == "" {
+				continue
+			}
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatLe(bounds[i])
+			}
+			lines = append(lines, fmt.Sprintf("# EXEMPLAR %s_bucket{le=%q} trace_id=%q %g", n, le, e.TraceID, e.Value))
+		}
 		fams = append(fams, family{n, "histogram", lines})
 	}
 	r.mu.Unlock()

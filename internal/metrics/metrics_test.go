@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -152,5 +153,93 @@ func TestSanitizeName(t *testing.T) {
 		if got := SanitizeName(in); got != want {
 			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// The empty-histogram audit (PR 10 satellite): Quantile must never panic
+// or divide by zero, whatever the bucket layout or sample count.
+func TestQuantileEmptyAndDegenerateHistograms(t *testing.T) {
+	// No samples: every quantile is 0.
+	h := newHistogram(LatencyBuckets)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// No buckets at all: used to index bounds[-1] and panic once samples
+	// arrived. Pinned: always 0.
+	nb := newHistogram(nil)
+	if got := nb.Quantile(0.5); got != 0 {
+		t.Fatalf("bucketless empty Quantile = %v, want 0", got)
+	}
+	nb.Observe(7) // lands in the lone overflow bucket
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := nb.Quantile(q); got != 0 {
+			t.Fatalf("bucketless Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// Out-of-range and NaN q values are defined, not garbage.
+	h.Observe(3)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+	if got := h.Quantile(17); got != h.Quantile(1) {
+		t.Fatalf("Quantile(17) = %v, want clamp to Quantile(1) = %v", got, h.Quantile(1))
+	}
+	if got := h.Quantile(-2); got <= 0 {
+		t.Fatalf("Quantile(-2) = %v, want the first sample's bucket bound", got)
+	}
+}
+
+// NaN observations are dropped instead of poisoning the sum and the
+// overflow bucket.
+func TestObserveNaNIgnored(t *testing.T) {
+	h := newHistogram([]float64{10})
+	h.Observe(math.NaN())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("NaN observation recorded: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	h.Observe(5)
+	if h.Count() != 1 || math.IsNaN(h.Sum()) {
+		t.Fatalf("histogram poisoned after NaN: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) {
+		t.Fatal("quantile went NaN")
+	}
+}
+
+// Exemplars: ObserveExemplar links a bucket to the trace that most
+// recently landed in it, and WriteText exposes the linkage as # EXEMPLAR
+// comment lines (format-safe: 0.0.4 parsers skip comments).
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []float64{10, 100})
+	h.ObserveExemplar(5, "aaaa0000aaaa0000aaaa0000aaaa0000")
+	h.ObserveExemplar(7, "bbbb0000bbbb0000bbbb0000bbbb0000") // same bucket: latest wins
+	h.ObserveExemplar(500, "cccc0000cccc0000cccc0000cccc0000")
+	h.Observe(50) // no trace: bucket keeps no exemplar
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`# EXEMPLAR lat_ms_bucket{le="10"} trace_id="bbbb0000bbbb0000bbbb0000bbbb0000" 7`,
+		`# EXEMPLAR lat_ms_bucket{le="+Inf"} trace_id="cccc0000cccc0000cccc0000cccc0000" 500`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "aaaa0000") {
+		t.Fatal("overwritten exemplar still exposed")
+	}
+	if strings.Contains(out, `le="100"} trace_id`) {
+		t.Fatal("traceless bucket grew an exemplar")
+	}
+	// Exemplar comments must not disturb the samples themselves.
+	if !strings.Contains(out, `lat_ms_bucket{le="+Inf"} 4`) || !strings.Contains(out, "lat_ms_count 4") {
+		t.Fatalf("sample lines wrong:\n%s", out)
 	}
 }

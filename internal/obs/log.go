@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nopHandler drops every record before it is formatted. (slog gained a
+// stock DiscardHandler only after the Go version this module pins, and
+// a TextHandler on io.Discard still pays for rendering.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything, so components can
+// wire structured logging unconditionally and treat "no logger configured"
+// as a logger that costs one Enabled check per call.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

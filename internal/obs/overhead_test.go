@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The span-recording overhead gate: starting, annotating, and ending a
+// span must stay within a fixed allocation ceiling, and the disabled
+// (nil-tracer) path must allocate nothing at all. These are hard bounds —
+// tracing rides every job the service runs, so regressions here tax every
+// request.
+const (
+	// allocsPerSpan bounds Root+Set+End: the Span object, the two minted
+	// IDs, the attrs slice, and the clock's time.Time boxing.
+	allocsPerSpan = 8
+	// allocsPerChild bounds Child+End (one ID, no attrs).
+	allocsPerChild = 4
+)
+
+func TestSpanAllocationCeiling(t *testing.T) {
+	tr := New(1024, newFakeClock(time.Microsecond))
+	got := testing.AllocsPerRun(1000, func() {
+		s := tr.Root("job")
+		s.Set("criteria", "pixels")
+		s.End()
+	})
+	if got > allocsPerSpan {
+		t.Fatalf("Root+Set+End allocates %.1f/op, ceiling %d", got, allocsPerSpan)
+	}
+
+	parent := tr.Root("parent")
+	got = testing.AllocsPerRun(1000, func() {
+		c := parent.Child("phase")
+		c.End()
+	})
+	if got > allocsPerChild {
+		t.Fatalf("Child+End allocates %.1f/op, ceiling %d", got, allocsPerChild)
+	}
+}
+
+func TestDisabledTracingAllocatesNothing(t *testing.T) {
+	var tr *Tracer // tracing off
+	got := testing.AllocsPerRun(1000, func() {
+		s := tr.Root("job")
+		s.Set("criteria", "pixels")
+		c := s.Child("phase")
+		c.Event("e")
+		c.End()
+		s.End()
+	})
+	if got != 0 {
+		t.Fatalf("disabled path allocates %.1f/op, want 0", got)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := New(4096, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Root("job")
+		s.End()
+	}
+}
+
+func BenchmarkSpanChildWithAttrs(b *testing.B) {
+	tr := New(4096, nil)
+	root := tr.Root("job")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := root.Child("phase")
+		c.Set("hit", "true")
+		c.End()
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Root("job")
+		s.Set("k", "v")
+		s.End()
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteJSONL writes one span per line — the /debug/spans wire format.
+func WriteJSONL(w io.Writer, spans []SpanData) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// node is one rendered tree position.
+type node struct {
+	span     *SpanData
+	children []*node
+}
+
+// RenderTree draws the span tree of one or more traces as indented text
+// with durations, percent-of-trace (wall-clock extent), and self-time
+// percentages — the per-request "Table II": how much of the wall clock
+// each phase consumed and how much of that was its own work rather than
+// its children's.
+// Spans whose parent is missing (evicted from the ring, or recorded on a
+// node whose spans were unreachable) render as top-level, so a partial
+// trace still draws.
+func RenderTree(w io.Writer, spans []SpanData) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "no spans recorded")
+		return
+	}
+	byTrace := make(map[string][]SpanData)
+	var order []string
+	for _, s := range spans {
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	sort.Strings(order)
+	for i, tr := range order {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		renderTrace(w, tr, byTrace[tr])
+	}
+}
+
+func renderTrace(w io.Writer, traceID string, spans []SpanData) {
+	nodes := make(map[string]*node, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &node{span: &spans[i]}
+	}
+	var roots []*node
+	for i := range spans {
+		n := nodes[spans[i].ID]
+		if p, ok := nodes[spans[i].Parent]; ok && spans[i].Parent != spans[i].ID {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	// Percentages are of the trace's wall-clock extent, not the root span's
+	// duration: in a merged cross-node trace the root (the coordinator's
+	// route span) ends at the submission ack, long before the worker's job
+	// span does, and percent-of-root would read as thousands.
+	var minStart, maxEnd int64
+	for i := range spans {
+		end := spans[i].StartNs + int64(spans[i].DurMs*float64(time.Millisecond))
+		if i == 0 || spans[i].StartNs < minStart {
+			minStart = spans[i].StartNs
+		}
+		if i == 0 || end > maxEnd {
+			maxEnd = end
+		}
+	}
+	total := float64(maxEnd-minStart) / float64(time.Millisecond)
+	fmt.Fprintf(w, "trace %s — %d span(s), %.1fms\n", traceID, len(spans), total)
+	for i, r := range roots {
+		renderNode(w, r, "", i == len(roots)-1, true, total)
+	}
+}
+
+func sortNodes(ns []*node) {
+	sort.Slice(ns, func(i, j int) bool { return less(ns[i].span, ns[j].span) })
+	for _, n := range ns {
+		sortNodes(n.children)
+	}
+}
+
+// renderNode prints one span line plus its events and children. Self time
+// is the span's duration minus its direct children's (clamped at zero:
+// synthesized phase spans can overlap their parent's bookkeeping).
+func renderNode(w io.Writer, n *node, prefix string, last, isRoot bool, rootDur float64) {
+	childSum := 0.0
+	for _, c := range n.children {
+		childSum += c.span.DurMs
+	}
+	self := n.span.DurMs - childSum
+	if self < 0 {
+		self = 0
+	}
+	branch, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		branch, childPrefix = "└─ ", prefix+"   "
+	}
+	head := prefix + branch
+	if isRoot {
+		head, childPrefix = "", ""
+	}
+	line := fmt.Sprintf("%s%-*s %9.1fms  %5.1f%%", head, nameWidth(head, n.span.Name), n.span.Name, n.span.DurMs, pct(n.span.DurMs, rootDur))
+	if len(n.children) > 0 {
+		line += fmt.Sprintf("  self %5.1f%%", pct(self, rootDur))
+	}
+	if a := attrLine(n.span.Attrs); a != "" {
+		line += "  " + a
+	}
+	fmt.Fprintln(w, line)
+	for _, ev := range n.span.Events {
+		evLine := childPrefix + "• " + ev.Name
+		if a := attrLine(ev.Attrs); a != "" {
+			evLine += "  " + a
+		}
+		fmt.Fprintln(w, evLine)
+	}
+	for i, c := range n.children {
+		renderNode(w, c, childPrefix, i == len(n.children)-1, false, rootDur)
+	}
+}
+
+// nameWidth pads names to a common column without letting deep prefixes
+// push the numbers off-screen.
+func nameWidth(head, name string) int {
+	w := 34 - len([]rune(head))
+	if w < len(name) {
+		w = len(name)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func pct(part, whole float64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * part / whole
+}
+
+func attrLine(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		v := a.V
+		if strings.ContainsAny(v, " \t\"") {
+			v = fmt.Sprintf("%q", v)
+		}
+		parts[i] = a.K + "=" + v
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func renderString(spans []SpanData) string {
+	var sb strings.Builder
+	RenderTree(&sb, spans)
+	return sb.String()
+}
+
+func TestRenderTreeDrawsHierarchyAndSelfTime(t *testing.T) {
+	t0 := time.Unix(3000, 0)
+	ms := func(d int) int64 { return t0.Add(time.Duration(d) * time.Millisecond).UnixNano() }
+	spans := []SpanData{
+		{Trace: "t1", ID: "aaaa", Name: "job", StartNs: ms(0), DurMs: 100,
+			Attrs: []Attr{{K: "site", V: "maps"}}},
+		{Trace: "t1", ID: "bbbb", Parent: "aaaa", Name: "queue.wait", StartNs: ms(0), DurMs: 10},
+		{Trace: "t1", ID: "cccc", Parent: "aaaa", Name: "render", StartNs: ms(10), DurMs: 30,
+			Events: []Event{{Name: "retry", AtNs: ms(12), Attrs: []Attr{{K: "attempt", V: "2"}}}}},
+		{Trace: "t1", ID: "dddd", Parent: "aaaa", Name: "slice", StartNs: ms(40), DurMs: 50},
+		{Trace: "t1", ID: "eeee", Parent: "dddd", Name: "slice.scan", StartNs: ms(40), DurMs: 45},
+	}
+	out := renderString(spans)
+	for _, want := range []string{
+		"trace t1 — 5 span(s), 100.0ms",
+		"job", "queue.wait", "render", "slice.scan",
+		"site=maps",
+		"• retry  attempt=2",
+		"self", // self-time column present on spans with children
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Children indent under their parent: slice.scan must appear after and
+	// deeper than slice.
+	si := strings.Index(out, "slice ")
+	if si < 0 {
+		si = strings.Index(out, "slice  ")
+	}
+	sc := strings.Index(out, "slice.scan")
+	if sc < si {
+		t.Fatalf("child rendered before parent:\n%s", out)
+	}
+	// Percent-of-root: the slice span is 50% of the 100ms root.
+	if !strings.Contains(out, "50.0%") {
+		t.Fatalf("render missing 50.0%% for slice:\n%s", out)
+	}
+}
+
+func TestRenderTreeHandlesOrphansAndEmpty(t *testing.T) {
+	if out := renderString(nil); !strings.Contains(out, "no spans") {
+		t.Fatalf("empty render = %q", out)
+	}
+	// An orphan (parent evicted from the ring) renders as a top-level span
+	// rather than vanishing.
+	spans := []SpanData{
+		{Trace: "t2", ID: "xxxx", Parent: "gone", Name: "stranded", DurMs: 5},
+	}
+	out := renderString(spans)
+	if !strings.Contains(out, "stranded") {
+		t.Fatalf("orphan missing:\n%s", out)
+	}
+}
+
+func TestRenderTreeSelfParentCycleDoesNotHang(t *testing.T) {
+	spans := []SpanData{
+		{Trace: "t3", ID: "zzzz", Parent: "zzzz", Name: "cycle", DurMs: 1},
+	}
+	out := renderString(spans) // must terminate
+	if !strings.Contains(out, "cycle") {
+		t.Fatalf("self-parent span missing:\n%s", out)
+	}
+}
+
+func TestRenderTreeGroupsMultipleTraces(t *testing.T) {
+	spans := []SpanData{
+		{Trace: "tb", ID: "1111", Name: "b", DurMs: 1},
+		{Trace: "ta", ID: "2222", Name: "a", DurMs: 1},
+	}
+	out := renderString(spans)
+	ia, ib := strings.Index(out, "trace ta"), strings.Index(out, "trace tb")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("traces not grouped/sorted:\n%s", out)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"webslice/internal/metrics"
+	"webslice/internal/obs"
 )
 
 // maxTraceBody bounds an uploaded binary trace (256 MB).
@@ -24,10 +25,16 @@ const maxTraceBody = 256 << 20
 //	GET    /jobs/{id}        job status                       -> 200 Info
 //	GET    /jobs/{id}/result finished job result              -> 200 Result
 //	DELETE /jobs/{id}        cancel                           -> 200
+//	GET    /jobs/{id}/trace  recorded spans of the job's trace -> 200 [SpanData]
 //	GET    /healthz         liveness (503 while draining)     -> 200
 //	GET    /metrics         text exposition of the registry   -> 200
+//	GET    /debug/spans     every span in the tracer's ring (JSONL)
 //
 // Backpressure surfaces as HTTP 429 (queue full) and shutdown as 503.
+// Submissions carrying a W3C traceparent header join the caller's trace:
+// the job's spans parent under the propagated context instead of starting
+// a fresh trace (this is how a coordinator-routed job yields one
+// causally-linked trace across nodes).
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -37,6 +44,7 @@ func NewHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 			return
 		}
+		spec.TraceCtx, _ = obs.Extract(r.Header)
 		submit(m, w, spec)
 	})
 
@@ -50,12 +58,34 @@ func NewHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("empty trace body"))
 			return
 		}
-		submit(m, w, Spec{
+		spec := Spec{
 			Trace:    body,
 			Criteria: r.URL.Query().Get("criteria"),
 			Verify:   r.URL.Query().Get("verify") == "1" || r.URL.Query().Get("verify") == "true",
 			Origin:   r.URL.Query().Get("origin"),
-		})
+		}
+		spec.TraceCtx, _ = obs.Extract(r.Header)
+		submit(m, w, spec)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans, ok := m.JobTrace(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (unknown job, or tracing disabled)", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, spans)
+	})
+
+	mux.HandleFunc("GET /debug/spans", func(w http.ResponseWriter, r *http.Request) {
+		t := m.Tracer()
+		if t == nil {
+			httpError(w, http.StatusNotFound, errors.New("tracing disabled (websliced -trace-spans 0)"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		obs.WriteJSONL(w, t.Snapshot())
 	})
 
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {

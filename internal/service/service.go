@@ -27,7 +27,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"webslice/internal/browser"
 	"webslice/internal/core"
 	"webslice/internal/metrics"
+	"webslice/internal/obs"
 	"webslice/internal/sites"
 	"webslice/internal/slicer"
 	"webslice/internal/store"
@@ -65,6 +68,11 @@ type Spec struct {
 	// cluster coordinator that routed this job here (empty for jobs
 	// submitted directly to this node). Informational only.
 	Origin string `json:"origin,omitempty"`
+	// TraceCtx is the propagated parent span of a forwarded submission.
+	// It is never part of the JSON wire format: HTTP handlers fill it from
+	// the W3C traceparent request header, so the job's spans join the
+	// coordinator's trace instead of starting a new one.
+	TraceCtx obs.SpanContext `json:"-"`
 }
 
 // Status is a job's lifecycle state.
@@ -248,6 +256,15 @@ type Config struct {
 	MaxTraceBytes int64
 	// Clock abstracts time for tests; nil uses the real clock.
 	Clock Clock
+	// Tracer, when set, records a hierarchical span tree per job (queue
+	// wait, attempts, render, store lookups, slice phases — see
+	// internal/obs). Nil disables tracing; every span call site is
+	// nil-safe, so the disabled path costs one pointer test per phase.
+	Tracer *obs.Tracer
+	// Logger receives structured lifecycle logs (submitted, started,
+	// retried, quarantined, finished) carrying job and trace IDs. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 type job struct {
@@ -269,6 +286,11 @@ type job struct {
 	// the owning worker.
 	attempts int
 	panics   int
+
+	// span is the job's root trace span (nil with tracing off). Written
+	// once before the job escapes Submit/resume, ended in finish/drop;
+	// obs.Span methods are internally synchronized and nil-safe.
+	span *obs.Span
 }
 
 func (j *job) canceled() bool {
@@ -279,11 +301,13 @@ func (j *job) canceled() bool {
 
 // Manager owns the queue, the worker pool, and the job table.
 type Manager struct {
-	cfg   Config
-	reg   *metrics.Registry
-	clock Clock
-	queue chan *job
-	wg    sync.WaitGroup
+	cfg    Config
+	reg    *metrics.Registry
+	clock  Clock
+	tracer *obs.Tracer
+	log    *slog.Logger
+	queue  chan *job
+	wg     sync.WaitGroup
 
 	// baseCtx parents every job context; baseCancel fires on Kill and on a
 	// drain timeout so in-flight runners stop at their next poll.
@@ -331,11 +355,17 @@ func New(cfg Config) *Manager {
 	if clock == nil {
 		clock = realClock{}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:   cfg,
-		reg:   reg,
-		clock: clock,
+		cfg:    cfg,
+		reg:    reg,
+		clock:  clock,
+		tracer: cfg.Tracer,
+		log:    logger,
 		// The queue must absorb every resumed job on top of QueueDepth so
 		// a journal fuller than the configured depth still replays.
 		queue:        make(chan *job, cfg.QueueDepth+len(cfg.Resume)),
@@ -402,6 +432,8 @@ func (m *Manager) resume(entries []JournalEntry) {
 	for _, e := range entries {
 		spec := e.Spec
 		j := &job{id: e.ID, spec: spec, enqueued: m.clock.Now()}
+		m.startJobSpan(j)
+		j.span.Set("resumed", "true")
 		if err := m.validate(&j.spec); err != nil {
 			j.status = StatusFailed
 			j.err = err.Error()
@@ -409,13 +441,17 @@ func (m *Manager) resume(entries []JournalEntry) {
 			if m.cfg.Journal != nil {
 				m.cfg.Journal.LogTerminal(j.id, StatusFailed)
 			}
+			j.span.Set("status", string(StatusFailed))
+			j.span.EndErr(err)
 			m.jobs[j.id] = j
 			m.mFailed.Inc()
+			m.log.Warn("resumed job invalid", "job", j.id, "trace", j.span.TraceID(), "error", err)
 			continue
 		}
 		j.status = StatusQueued
 		m.jobs[j.id] = j
 		m.queue <- j
+		m.log.Info("job resumed", "job", j.id, "trace", j.span.TraceID())
 	}
 	m.gQueueDepth.Set(int64(len(m.queue)))
 }
@@ -456,10 +492,15 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		status:   StatusQueued,
 		enqueued: m.clock.Now(),
 	}
+	m.startJobSpan(j)
 	if m.cfg.Journal != nil {
-		if err := m.cfg.Journal.LogSubmit(j.id, spec); err != nil {
+		js := j.span.Child("journal.submit")
+		err := m.cfg.Journal.LogSubmit(j.id, spec)
+		js.EndErr(err)
+		if err != nil {
 			// Not acknowledged, not enqueued. The ID stays burned: a torn
 			// frame may still replay, so reusing it could collide.
+			j.span.EndErr(err)
 			return "", err
 		}
 	}
@@ -467,6 +508,8 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	m.jobs[j.id] = j
 	m.mSubmitted.Inc()
 	m.gQueueDepth.Set(int64(len(m.queue)))
+	m.log.Info("job submitted", "job", j.id, "trace", j.span.TraceID(),
+		"site", spec.Site, "criteria", spec.Criteria)
 	return j.id, nil
 }
 
@@ -702,7 +745,10 @@ func (m *Manager) worker() {
 		j.status = StatusRunning
 		j.started = now
 		j.mu.Unlock()
-		m.hQueueWait.Observe(float64(now.Sub(j.enqueued)) / float64(time.Millisecond))
+		wait := float64(now.Sub(j.enqueued)) / float64(time.Millisecond)
+		m.hQueueWait.ObserveExemplar(wait, j.span.TraceID())
+		j.span.ChildAt("queue.wait", j.enqueued, now)
+		m.log.Debug("job started", "job", j.id, "trace", j.span.TraceID(), "queue_ms", wait)
 		m.gPeak.SetMax(m.gRunning.Add(1))
 		m.execute(j)
 		m.gRunning.Add(-1)
@@ -719,7 +765,7 @@ func (m *Manager) execute(j *job) {
 		j.attempts++
 		attempts := j.attempts
 		j.mu.Unlock()
-		res, err := m.attempt(j)
+		res, err := m.attempt(j, attempts)
 		switch {
 		case m.killed.Load():
 			m.drop(j)
@@ -745,8 +791,15 @@ func (m *Manager) execute(j *job) {
 				return
 			}
 		}
+		backoff := m.cfg.Retry.backoff(attempts)
+		j.span.Event("retry",
+			obs.Attr{K: "attempt", V: strconv.Itoa(attempts)},
+			obs.Attr{K: "backoff_ms", V: strconv.FormatInt(backoff.Milliseconds(), 10)},
+			obs.Attr{K: "error", V: err.Error()})
 		m.mRetried.Inc()
-		m.clock.Sleep(m.cfg.Retry.backoff(attempts), m.baseCtx.Done())
+		m.log.Warn("job retrying", "job", j.id, "trace", j.span.TraceID(),
+			"attempt", attempts, "backoff", backoff, "error", err)
+		m.clock.Sleep(backoff, m.baseCtx.Done())
 		if m.killed.Load() {
 			m.drop(j)
 			return
@@ -755,8 +808,10 @@ func (m *Manager) execute(j *job) {
 }
 
 // attempt runs the runner once with a per-job context and converts panics
-// into ErrJobPanicked so one poisoned job cannot take the daemon down.
-func (m *Manager) attempt(j *job) (res *Result, err error) {
+// into ErrJobPanicked so one poisoned job cannot take the daemon down. The
+// attempt's span rides the context (obs.FromContext) so the runner's
+// phases parent under it.
+func (m *Manager) attempt(j *job, n int) (res *Result, err error) {
 	ctx := m.baseCtx
 	var cancel context.CancelFunc
 	if m.cfg.JobTimeout > 0 {
@@ -771,6 +826,8 @@ func (m *Manager) attempt(j *job) (res *Result, err error) {
 		cancel() // Cancel won the race with attempt setup
 	}
 	j.mu.Unlock()
+	as := j.span.Child("attempt").Set("n", strconv.Itoa(n))
+	ctx = obs.ContextWith(ctx, as)
 	defer func() {
 		j.mu.Lock()
 		j.stopRun = nil
@@ -779,6 +836,7 @@ func (m *Manager) attempt(j *job) (res *Result, err error) {
 			m.mPanicked.Inc()
 			res, err = nil, fmt.Errorf("%w: %v", ErrJobPanicked, r)
 		}
+		as.EndErr(err)
 	}()
 	res, err = m.cfg.Runner(ctx, j.spec)
 	if err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
@@ -792,7 +850,9 @@ func (m *Manager) attempt(j *job) (res *Result, err error) {
 // that is already durable, so replay never re-runs such a job.
 func (m *Manager) finish(j *job, st Status, res *Result, err error) {
 	if m.cfg.Journal != nil {
+		ts := j.span.Child("journal.terminal").Set("terminal", string(st))
 		m.cfg.Journal.LogTerminal(j.id, st)
+		ts.End()
 	}
 	end := m.clock.Now()
 	j.mu.Lock()
@@ -804,9 +864,18 @@ func (m *Manager) finish(j *job, st Status, res *Result, err error) {
 	}
 	started := j.started
 	j.mu.Unlock()
+	var runMs float64
 	if !started.IsZero() {
-		m.hRun.Observe(float64(end.Sub(started)) / float64(time.Millisecond))
+		runMs = float64(end.Sub(started)) / float64(time.Millisecond)
+		m.hRun.ObserveExemplar(runMs, j.span.TraceID())
 	}
+	if st == StatusQuarantined {
+		j.span.Event("quarantine")
+	}
+	j.span.Set("status", string(st))
+	j.span.EndErr(err)
+	m.log.Info("job finished", "job", j.id, "trace", j.span.TraceID(),
+		"status", string(st), "run_ms", runMs, "error", err)
 	switch st {
 	case StatusDone:
 		m.mDone.Inc()
@@ -827,12 +896,17 @@ func (m *Manager) finish(j *job, st Status, res *Result, err error) {
 // job is still pending on disk and the next boot re-runs it.
 func (m *Manager) drop(j *job) {
 	j.mu.Lock()
-	if !j.status.Terminal() {
+	abandoned := !j.status.Terminal()
+	if abandoned {
 		j.status = StatusCanceled
 		j.err = "abandoned by shutdown (still pending in journal)"
 		j.finished = m.clock.Now()
 	}
 	j.mu.Unlock()
+	if abandoned {
+		j.span.Set("status", string(StatusCanceled)).Set("abandoned", "true")
+		j.span.End()
+	}
 }
 
 // run is the default pipeline: obtain the trace (decode or render), attach
@@ -840,14 +914,22 @@ func (m *Manager) drop(j *job) {
 // context's deadline/cancellation is polled at phase boundaries and,
 // through slicer.Options.Canceled, inside the backward walk itself.
 func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
+	s := obs.FromContext(ctx) // the attempt's span; nil (inert) with tracing off
+	obtainName := "render"
+	if len(spec.Trace) > 0 {
+		obtainName = "trace.open"
+	}
+	ts := s.Child(obtainName)
 	p, err := obtainTrace(spec)
+	ts.EndErr(err)
 	if err != nil {
 		return nil, err
 	}
 	if ctx.Err() != nil {
 		return nil, ErrCanceled
 	}
-	t := p.T // the shell for a streaming (v3) submission: tables only
+	p.Obs = s // store lookups, the forward pass, and verification parent here
+	t := p.T  // the shell for a streaming (v3) submission: tables only
 	p.Opts.ProgressPoints = 160
 	p.Opts.MainThread = browser.MainThread
 	p.Opts.Canceled = func() bool { return ctx.Err() != nil }
@@ -867,20 +949,46 @@ func (m *Manager) run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Criteria == "syscalls" {
 		crit = slicer.SyscallCriteria{}
 	}
+	ss := s.Child("slice").Set("criteria", spec.Criteria)
 	res, hit, err := p.SliceCached(crit, p.Opts)
+	ss.Set("hit", strconv.FormatBool(hit))
 	if err != nil {
+		ss.EndErr(err)
 		if errors.Is(err, slicer.ErrCanceled) {
 			return nil, ErrCanceled
 		}
 		return nil, err
 	}
+	sliceEnd := m.clock.Now()
+	ss.End()
 	if !hit {
 		// Phase timings exist only when the backward pass actually ran;
 		// cache hits would observe zeros and skew the histograms.
-		m.hScan.Observe(passStats.ScanMs)
-		m.hStitch.Observe(passStats.StitchMs)
-		m.hTally.Observe(passStats.TallyMs)
+		m.hScan.ObserveExemplar(passStats.ScanMs, s.TraceID())
+		m.hStitch.ObserveExemplar(passStats.StitchMs, s.TraceID())
+		m.hTally.ObserveExemplar(passStats.TallyMs, s.TraceID())
 		m.gSegments.Set(int64(passStats.Segments))
+		// Synthesize the backward pass's phase spans from PassStats — the
+		// hot loop carries no tracing code; the phases are reconstructed
+		// back-to-front from the slice span's end.
+		phaseEnd := sliceEnd
+		for _, ph := range []struct {
+			name string
+			ms   float64
+		}{
+			{"slice.tally", passStats.TallyMs},
+			{"slice.stitch", passStats.StitchMs},
+			{"slice.scan", passStats.ScanMs},
+		} {
+			start := phaseEnd.Add(-time.Duration(ph.ms * float64(time.Millisecond)))
+			if ph.name == "slice.scan" {
+				ss.ChildAt(ph.name, start, phaseEnd,
+					obs.Attr{K: "segments", V: strconv.Itoa(passStats.Segments)})
+			} else {
+				ss.ChildAt(ph.name, start, phaseEnd)
+			}
+			phaseEnd = start
+		}
 	}
 	if verify && hit {
 		// Fresh computations were verified inside SliceCached; a cached

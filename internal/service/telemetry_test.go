@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"webslice/internal/obs"
+	"webslice/internal/store"
+)
+
+// syncBuffer is a mutex-guarded log sink: the manager's workers log from
+// their own goroutines (the "job finished" line lands after the terminal
+// status is visible), so the test cannot read a bare bytes.Buffer.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSpansSmoke is the end-to-end tracing smoke (ci.sh runs it by name):
+// one golden job through the full pipeline must yield a single trace whose
+// tree includes the queue wait, the attempt, the render, the store
+// lookups, and the backward pass's scan/stitch/tally phases — all with
+// correct parent links — retrievable over GET /jobs/{id}/trace.
+func TestSpansSmoke(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf syncBuffer
+	tr := obs.New(256, nil)
+	m := New(Config{
+		Workers: 1,
+		Store:   st,
+		Tracer:  tr,
+		Logger:  slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"site":"amazon-desktop","scale":0.04}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitStatus(t, m, acc.ID, StatusDone)
+
+	resp, err = http.Get(srv.URL + "/jobs/" + acc.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s/trace = %d", acc.ID, resp.StatusCode)
+	}
+	var spans []obs.SpanData
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	byName := map[string]obs.SpanData{}
+	for _, s := range spans {
+		if s.Trace != spans[0].Trace {
+			t.Fatalf("span %s is on trace %s, want single trace %s", s.Name, s.Trace, spans[0].Trace)
+		}
+		byName[s.Name] = s
+	}
+	for _, want := range []string{
+		"job", "queue.wait", "attempt", "render",
+		"store.get", "forward", "store.put",
+		"slice", "slice.scan", "slice.stitch", "slice.tally",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace missing span %q (have %v)", want, names(spans))
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Parent links: the causal chain job -> attempt -> {render, slice} and
+	// slice -> phases must hold exactly.
+	jobID := byName["job"].ID
+	for child, parent := range map[string]string{
+		"queue.wait":   jobID,
+		"attempt":      jobID,
+		"render":       byName["attempt"].ID,
+		"slice":        byName["attempt"].ID,
+		"store.get":    byName["attempt"].ID,
+		"slice.scan":   byName["slice"].ID,
+		"slice.stitch": byName["slice"].ID,
+		"slice.tally":  byName["slice"].ID,
+	} {
+		if got := byName[child].Parent; got != parent {
+			t.Errorf("%s.parent = %q, want %q", child, got, parent)
+		}
+	}
+	if byName["job"].Parent != "" {
+		t.Errorf("job span has parent %q, want root", byName["job"].Parent)
+	}
+
+	// The structured log carries the trace ID, linking log lines to spans.
+	if !strings.Contains(logBuf.String(), spans[0].Trace) {
+		t.Errorf("log output does not mention trace %s:\n%s", spans[0].Trace, logBuf.String())
+	}
+
+	// The latency histograms expose the trace as an exemplar, linking
+	// /metrics to /jobs/{id}/trace.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb bytes.Buffer
+	mb.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(mb.String(), "# EXEMPLAR slice_ms_bucket") ||
+		!strings.Contains(mb.String(), spans[0].Trace) {
+		t.Errorf("/metrics missing slice_ms exemplar for trace %s", spans[0].Trace)
+	}
+
+	// /debug/spans serves the whole ring as JSONL.
+	resp, err = http.Get(srv.URL + "/debug/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var db bytes.Buffer
+	db.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(db.String(), `"name":"job"`) {
+		t.Errorf("/debug/spans = %d, body %.200s", resp.StatusCode, db.String())
+	}
+}
+
+func names(spans []obs.SpanData) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// A submission carrying a traceparent header must join the caller's trace
+// rather than starting its own — the cross-node propagation contract.
+func TestSubmitJoinsPropagatedTrace(t *testing.T) {
+	tr := obs.New(64, nil)
+	m := New(Config{Workers: 1, Tracer: tr})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, _ := http.NewRequest("POST", srv.URL+"/jobs", strings.NewReader(`{"seed":7}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.Header, parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&acc)
+	resp.Body.Close()
+	waitStatus(t, m, acc.ID, StatusDone)
+
+	spans, ok := m.JobTrace(acc.ID)
+	if !ok || len(spans) == 0 {
+		t.Fatalf("JobTrace = %v, %t", spans, ok)
+	}
+	for _, s := range spans {
+		if s.Trace != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Fatalf("span %s on trace %s, want the propagated trace", s.Name, s.Trace)
+		}
+		if s.Name == "job" && s.Parent != "00f067aa0ba902b7" {
+			t.Fatalf("job span parent = %q, want the propagated span", s.Parent)
+		}
+	}
+}
+
+// With tracing disabled (nil Tracer) the trace endpoints 404 and the job
+// path records nothing — the disabled configuration is first-class, not an
+// error state.
+func TestTracingDisabledEndpoints(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	id, err := m.Submit(Spec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, id, StatusDone)
+	if _, ok := m.JobTrace(id); ok {
+		t.Fatal("JobTrace succeeded with tracing disabled")
+	}
+	for _, path := range []string{"/jobs/" + id + "/trace", "/debug/spans"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

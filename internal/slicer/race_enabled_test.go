@@ -1,0 +1,9 @@
+//go:build race
+
+package slicer
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation inflates runtime.MemStats.TotalAlloc, so byte-exact
+// allocation gates skip themselves under -race (the same suite runs
+// without -race in CI's coverage ratchet and benchmark smoke).
+const raceEnabled = true

@@ -191,6 +191,9 @@ func TestStreamDecodeErrorPropagates(t *testing.T) {
 // fraction of what materializing the record slice would cost, proving the
 // walk decodes one block window at a time instead of the whole trace.
 func TestStreamSliceBoundedAllocBytes(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates TotalAlloc; the byte bound runs without -race")
+	}
 	n := 1 << 16
 	tr := constTrace(t, n)
 	src := streamOf(t, tr, 256)
